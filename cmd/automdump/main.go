@@ -1,0 +1,76 @@
+// Command automdump compiles access-control rules into their
+// non-deterministic automata and prints them — a faithful reproduction of
+// the paper's Figure 2 ("Access control rule automaton": navigational
+// path in white, predicate paths in gray).
+//
+// Usage:
+//
+//	automdump [-dot] [-tags a,b,c] EXPR...
+//	automdump -dot '//b[c]/d' | dot -Tpng > fig2.png
+//
+// The dictionary defaults to the name tests appearing in the expressions;
+// -tags overrides it (tags absent from the dictionary compile to dead
+// transitions, exactly as on a card session for a document lacking them).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/automaton"
+	"repro/internal/tagdict"
+	"repro/internal/xpath"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("automdump: ")
+	dot := flag.Bool("dot", false, "emit Graphviz instead of text")
+	tags := flag.String("tags", "", "comma-separated tag dictionary (default: the expressions' name tests)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: automdump [-dot] [-tags a,b,c] EXPR...")
+	}
+
+	paths := make([]*xpath.Path, 0, flag.NArg())
+	for _, expr := range flag.Args() {
+		p, err := xpath.Parse(expr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+
+	dict := tagdict.New()
+	if *tags != "" {
+		for _, t := range strings.Split(*tags, ",") {
+			if _, err := dict.Add(strings.TrimSpace(t)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		for _, p := range paths {
+			for _, name := range p.NameTests() {
+				if _, err := dict.Add(name); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	for i, p := range paths {
+		m, err := automaton.Compile(p, dict)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *dot {
+			fmt.Print(m.DOT(dict, fmt.Sprintf("rule%d", i+1)))
+		} else {
+			fmt.Print(m.Dump(dict))
+			fmt.Fprintln(os.Stdout)
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Command dspd runs the untrusted Document Store Provider as a TCP
+// server. Terminals connect with dsp.Dial (or cmd/sdsctl -store).
+//
+// Usage:
+//
+//	dspd [-addr :7070]
+//
+// The store is in-memory: dspd models the honest-but-curious server of
+// the architecture, whose compromise the client-side access control is
+// designed to survive.
+package main
+
+import (
+	"flag"
+	"log"
+
+	"repro/internal/dsp"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	flag.Parse()
+
+	srv := dsp.NewServer(dsp.NewMemStore())
+	srv.Logf = log.Printf
+	log.Printf("dspd: serving the untrusted store on %s", *addr)
+	if err := srv.ListenAndServe(*addr); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+)
+
+// fileStore persists a MemStore image to a single file, so consecutive
+// sdsctl invocations compose (publish, then grant, then query). The
+// format mirrors the store's threat model: everything in it is already
+// encrypted and authenticated; the file needs no protection of its own.
+type fileStore struct {
+	*dsp.MemStore
+	path string
+
+	// shadow copies for flushing (MemStore has no export API by design;
+	// the file layer tracks what it put in).
+	docs  map[string][]byte    // container images
+	rules map[string]fileRules // sealed rule blobs
+}
+
+type fileRules struct {
+	docID, subject string
+	version        uint32
+	sealed         []byte
+}
+
+func newFileStore(path string) (*fileStore, error) {
+	s := &fileStore{
+		MemStore: dsp.NewMemStore(),
+		path:     path,
+		docs:     make(map[string][]byte),
+		rules:    make(map[string]fileRules),
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return s, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := s.load(data); err != nil {
+		return nil, fmt.Errorf("sdsctl: corrupt store file %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// PutDocument shadows the image for persistence.
+func (s *fileStore) PutDocument(c *docenc.Container) error {
+	if err := s.MemStore.PutDocument(c); err != nil {
+		return err
+	}
+	img, err := c.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	s.docs[c.Header.DocID] = img
+	return nil
+}
+
+// PutRuleSet shadows the blob for persistence.
+func (s *fileStore) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
+	if err := s.MemStore.PutRuleSet(docID, subject, version, sealed); err != nil {
+		return err
+	}
+	s.rules[docID+"\x00"+subject] = fileRules{
+		docID: docID, subject: subject, version: version,
+		sealed: append([]byte(nil), sealed...),
+	}
+	return nil
+}
+
+// flush writes the store image.
+func (s *fileStore) flush() error {
+	var out []byte
+	out = append(out, 'S', 'D', 'S', 'F', 1)
+	out = binary.AppendUvarint(out, uint64(len(s.docs)))
+	for _, img := range s.docs {
+		out = appendBytes(out, img)
+	}
+	out = binary.AppendUvarint(out, uint64(len(s.rules)))
+	for _, r := range s.rules {
+		out = appendString(out, r.docID)
+		out = appendString(out, r.subject)
+		out = binary.AppendUvarint(out, uint64(r.version))
+		out = appendBytes(out, r.sealed)
+	}
+	return os.WriteFile(s.path, out, 0o644)
+}
+
+func (s *fileStore) load(data []byte) error {
+	if len(data) < 5 || string(data[:4]) != "SDSF" || data[4] != 1 {
+		return fmt.Errorf("bad magic")
+	}
+	r := &byteReader{data: data, pos: 5}
+	nDocs := r.uvarint()
+	for i := uint64(0); i < nDocs && r.err == nil; i++ {
+		img := r.bytes()
+		if r.err != nil {
+			break
+		}
+		c, err := docenc.UnmarshalContainer(img)
+		if err != nil {
+			return err
+		}
+		if err := s.PutDocument(c); err != nil {
+			return err
+		}
+	}
+	nRules := r.uvarint()
+	for i := uint64(0); i < nRules && r.err == nil; i++ {
+		docID := r.string()
+		subject := r.string()
+		version := r.uvarint()
+		sealed := r.bytes()
+		if r.err != nil {
+			break
+		}
+		if err := s.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
+			return err
+		}
+	}
+	return r.err
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+type byteReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("truncated varint at %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *byteReader) bytes() []byte {
+	l := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+int(l) > len(r.data) {
+		r.err = fmt.Errorf("truncated field at %d", r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(l)]
+	r.pos += int(l)
+	return b
+}
+
+func (r *byteReader) string() string { return string(r.bytes()) }

@@ -1,0 +1,195 @@
+// Command sdsctl drives the full platform from the command line: publish
+// encrypted documents, grant rule sets, and query through a simulated
+// smart card — against either an in-process store or a running dspd.
+//
+// Usage:
+//
+//	sdsctl [-store ADDR] [-profile egate|modern] <command> [args]
+//
+// Commands:
+//
+//	publish  -doc ID -in FILE -seed SEED       encrypt & upload an XML file
+//	grant    -doc ID -seed SEED -rules FILE    seal & upload a rule set
+//	query    -doc ID -seed SEED -subject S [-query XPATH] [-noskip]
+//	ls                                         list stored documents
+//
+// The document key is derived from -seed (a stand-in for the PKI
+// exchange, which examples/collaborative demonstrates in full).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/accessrule"
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/soe"
+	"repro/internal/xmlstream"
+)
+
+// statePath is where the in-process store persists between invocations.
+const statePath = "sdsctl.store"
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sdsctl: ")
+
+	storeAddr := flag.String("store", "", "dspd address (empty: local file-backed store)")
+	profile := flag.String("profile", "egate", "card profile: egate or modern")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("missing command (publish, grant, query, ls)")
+	}
+
+	store, closeStore := openStore(*storeAddr)
+	defer closeStore()
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "publish":
+		fs := flag.NewFlagSet("publish", flag.ExitOnError)
+		docID := fs.String("doc", "", "document id")
+		in := fs.String("in", "", "XML file")
+		seed := fs.String("seed", "", "key seed")
+		block := fs.Int("block", docenc.DefaultBlockPlain, "plaintext block size")
+		_ = fs.Parse(args)
+		requireAll(map[string]string{"doc": *docID, "in": *in, "seed": *seed})
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs, err := xmlstream.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := xmlstream.BuildTree(evs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := &proxy.Publisher{Store: store}
+		info, err := pub.PublishDocument(tree, docenc.EncodeOptions{
+			DocID: *docID, Key: secure.KeyFromSeed(*seed), BlockPlain: *block,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %s: %d nodes, %d blocks, %d stored bytes (index %d, dict %d)\n",
+			*docID, info.Nodes, (info.PayloadBytes+*block-1)/(*block), info.StoredBytes,
+			info.IndexBytes, info.DictBytes)
+
+	case "grant":
+		fs := flag.NewFlagSet("grant", flag.ExitOnError)
+		docID := fs.String("doc", "", "document id")
+		seed := fs.String("seed", "", "key seed")
+		rulesFile := fs.String("rules", "", "rule-set file (textual format)")
+		_ = fs.Parse(args)
+		requireAll(map[string]string{"doc": *docID, "seed": *seed, "rules": *rulesFile})
+		text, err := os.ReadFile(*rulesFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs, err := accessrule.ParseSet(string(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rs.DocID = *docID
+		pub := &proxy.Publisher{Store: store}
+		if err := pub.GrantRules(secure.KeyFromSeed(*seed), rs); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("granted %d rules (version %d) to %s on %s\n",
+			len(rs.Rules), rs.Version, rs.Subject, *docID)
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		docID := fs.String("doc", "", "document id")
+		seed := fs.String("seed", "", "key seed")
+		subject := fs.String("subject", "", "subject")
+		query := fs.String("query", "", "XPath query (optional)")
+		noskip := fs.Bool("noskip", false, "disable the skip index")
+		_ = fs.Parse(args)
+		requireAll(map[string]string{"doc": *docID, "seed": *seed, "subject": *subject})
+		c := card.New(cardProfile(*profile))
+		if err := c.PutKey(*docID, secure.KeyFromSeed(*seed)); err != nil {
+			log.Fatal(err)
+		}
+		term := &proxy.Terminal{Store: store, Card: c,
+			Options: soe.Options{DisableSkip: *noskip}}
+		if err := term.InstallRules(*subject, *docID); err != nil {
+			log.Fatal(err)
+		}
+		res, err := term.Query(*subject, *docID, *query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.XML())
+		fmt.Fprintf(os.Stderr,
+			"blocks %d/%d, skipped %d subtrees, card RAM peak %dB, simulated %s time %v\n",
+			res.Stats.BlocksFetched, res.Stats.BlocksTotal,
+			res.Stats.Session.Core.SkippedSubtrees, res.Stats.Session.RAMPeak,
+			cardProfile(*profile).Name, res.Stats.Time.Total().Round(1e6))
+
+	case "ls":
+		ids, err := store.ListDocuments()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, id := range ids {
+			h, err := store.Header(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-20s v%-3d %6d blocks  %8d payload bytes\n",
+				id, h.Version, h.NumBlocks(), h.PayloadLen)
+		}
+
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func cardProfile(name string) card.Profile {
+	switch name {
+	case "egate":
+		return card.EGate
+	case "modern":
+		return card.Modern
+	default:
+		log.Fatalf("unknown profile %q", name)
+		return card.Profile{}
+	}
+}
+
+func requireAll(fields map[string]string) {
+	for name, v := range fields {
+		if v == "" {
+			log.Fatalf("missing -%s", name)
+		}
+	}
+}
+
+func openStore(addr string) (dsp.Store, func()) {
+	if addr != "" {
+		client, err := dsp.Dial(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return client, func() { _ = client.Close() }
+	}
+	fs, err := newFileStore(statePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fs, func() {
+		if err := fs.flush(); err != nil {
+			log.Printf("flushing store: %v", err)
+		}
+	}
+}

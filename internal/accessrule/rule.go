@@ -1,0 +1,188 @@
+// Package accessrule implements the paper's access-control model for XML:
+// rules of the form <sign, subject, object> with implicit downward
+// propagation and two conflict-resolution policies.
+//
+// "Access control rules [...] take the form of a 3-uple <sign, subject,
+// object>. Sign denotes either a permission (positive rule) or a
+// prohibition (negative rule) for the read operation. [...] Object
+// corresponds to elements or subtrees in the XML document, identified by
+// an XPath expression [in] XP{[],*,//}. The cascading propagation of rules
+// is implicit [...]. Conflicts are resolved using two policies:
+// 1) Denial-Takes-Precedence [...] and 2) Most-Specific-Object-Takes-
+// Precedence." (Section 2.2.)
+//
+// Besides the model itself, the package provides a reference (tree-based)
+// implementation of the authorization semantics (ApplyTree), used as the
+// oracle against which the streaming evaluator of internal/core is
+// validated, and a binary codec so rule sets can be stored encrypted on
+// the untrusted DSP.
+package accessrule
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/xpath"
+)
+
+// Sign is the polarity of a rule.
+type Sign int8
+
+// Rule polarities.
+const (
+	// Deny is a prohibition (negative rule).
+	Deny Sign = -1
+	// Permit is a permission (positive rule).
+	Permit Sign = 1
+)
+
+// String renders the sign the way the paper's figures do.
+func (s Sign) String() string {
+	switch s {
+	case Permit:
+		return "+"
+	case Deny:
+		return "-"
+	default:
+		return fmt.Sprintf("Sign(%d)", int8(s))
+	}
+}
+
+// Rule is one access-control rule. Subject is kept on the enclosing
+// RuleSet (a set is the unit granted to a subject for a document).
+type Rule struct {
+	// ID is a stable identifier, for administration and tracing.
+	ID string
+	// Sign is Permit or Deny.
+	Sign Sign
+	// Object designates the elements/subtrees ruled, as an absolute
+	// XP{[],*,//} expression.
+	Object *xpath.Path
+}
+
+// String renders the rule like the paper: "⊕ //b[c]/d" (ASCII signs).
+func (r Rule) String() string {
+	return r.Sign.String() + " " + r.Object.String()
+}
+
+// Validate checks structural sanity.
+func (r Rule) Validate() error {
+	if r.Sign != Permit && r.Sign != Deny {
+		return fmt.Errorf("accessrule: rule %q has invalid sign %d", r.ID, r.Sign)
+	}
+	if r.Object == nil || len(r.Object.Steps) == 0 {
+		return fmt.Errorf("accessrule: rule %q has empty object", r.ID)
+	}
+	return nil
+}
+
+// RuleSet is the unit of access-control state for one (subject, document)
+// pair. It is what the DSP stores encrypted and what the SOE loads at
+// session start.
+type RuleSet struct {
+	// Subject identifies the user (or role) the set applies to.
+	Subject string
+	// DocID identifies the document the set protects ("" = any document
+	// the subject's keys open; used by dissemination profiles).
+	DocID string
+	// Version increases on every administrative change; the SOE refuses
+	// stale sets, preventing the DSP from replaying revoked rights.
+	Version uint32
+	// DefaultSign is the decision for nodes no rule reaches. The paper's
+	// model is closed (Deny); open policies are used by some profiles.
+	DefaultSign Sign
+	// Rules, evaluated under the two conflict-resolution policies.
+	Rules []Rule
+}
+
+// Validate checks the set and every rule in it.
+func (rs *RuleSet) Validate() error {
+	if rs.Subject == "" {
+		return fmt.Errorf("accessrule: rule set without subject")
+	}
+	if rs.DefaultSign != Permit && rs.DefaultSign != Deny {
+		return fmt.Errorf("accessrule: rule set for %q has invalid default sign", rs.Subject)
+	}
+	seen := make(map[string]bool, len(rs.Rules))
+	for i, r := range rs.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		if r.ID != "" {
+			if seen[r.ID] {
+				return fmt.Errorf("accessrule: duplicate rule id %q (rule %d)", r.ID, i)
+			}
+			seen[r.ID] = true
+		}
+	}
+	return nil
+}
+
+// String renders the set in the text form accepted by ParseSet.
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "subject %s\n", rs.Subject)
+	if rs.DocID != "" {
+		fmt.Fprintf(&b, "doc %s\n", rs.DocID)
+	}
+	fmt.Fprintf(&b, "default %s\n", rs.DefaultSign)
+	for _, r := range rs.Rules {
+		fmt.Fprintf(&b, "%s\n", r)
+	}
+	return b.String()
+}
+
+// ParseSet parses the textual rule-set format: one directive or rule per
+// line; '#' starts a comment. Directives: "subject NAME", "doc ID",
+// "default +|-". Rules: "+ /path" or "- /path".
+func ParseSet(text string) (*RuleSet, error) {
+	rs := &RuleSet{DefaultSign: Deny}
+	n := 0
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "subject "):
+			rs.Subject = strings.TrimSpace(strings.TrimPrefix(line, "subject "))
+		case strings.HasPrefix(line, "doc "):
+			rs.DocID = strings.TrimSpace(strings.TrimPrefix(line, "doc "))
+		case strings.HasPrefix(line, "default "):
+			v := strings.TrimSpace(strings.TrimPrefix(line, "default "))
+			switch v {
+			case "+", "permit":
+				rs.DefaultSign = Permit
+			case "-", "deny":
+				rs.DefaultSign = Deny
+			default:
+				return nil, fmt.Errorf("accessrule: line %d: bad default %q", lineNo+1, v)
+			}
+		case strings.HasPrefix(line, "+") || strings.HasPrefix(line, "-"):
+			sign := Permit
+			if line[0] == '-' {
+				sign = Deny
+			}
+			expr := strings.TrimSpace(line[1:])
+			p, err := xpath.Parse(expr)
+			if err != nil {
+				return nil, fmt.Errorf("accessrule: line %d: %w", lineNo+1, err)
+			}
+			n++
+			rs.Rules = append(rs.Rules, Rule{
+				ID:     fmt.Sprintf("r%d", n),
+				Sign:   sign,
+				Object: p,
+			})
+		default:
+			return nil, fmt.Errorf("accessrule: line %d: cannot parse %q", lineNo+1, line)
+		}
+	}
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

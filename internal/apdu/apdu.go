@@ -1,0 +1,97 @@
+// Package apdu implements the ISO 7816-4 style command/response protocol
+// between the terminal and the smart card (footnote 1 of the paper:
+// "Application Protocol Data Unit: Communication protocol between the
+// terminal and the smart card"), and the access-control applet dispatch
+// table on top of it.
+//
+// Short APDUs carry at most 255 data bytes, which is why every payload of
+// the architecture (rule blobs, container header, cipher blocks, output
+// records) crosses the link in chunks. The applet is a thin protocol
+// adapter over soe.Session: all evaluation logic stays in the SOE
+// packages; this layer contributes framing, chunk reassembly and status
+// words.
+package apdu
+
+import (
+	"fmt"
+)
+
+// Command is one terminal-to-card APDU (short form).
+type Command struct {
+	CLA, INS, P1, P2 byte
+	Data             []byte
+}
+
+// MaxData is the short-APDU data capacity.
+const MaxData = 255
+
+// Marshal encodes the command as CLA INS P1 P2 [Lc data].
+func (c Command) Marshal() ([]byte, error) {
+	if len(c.Data) > MaxData {
+		return nil, fmt.Errorf("apdu: %d data bytes exceed short-APDU capacity", len(c.Data))
+	}
+	out := []byte{c.CLA, c.INS, c.P1, c.P2}
+	if len(c.Data) > 0 {
+		out = append(out, byte(len(c.Data)))
+		out = append(out, c.Data...)
+	}
+	return out, nil
+}
+
+// UnmarshalCommand decodes a command frame.
+func UnmarshalCommand(b []byte) (Command, error) {
+	if len(b) < 4 {
+		return Command{}, fmt.Errorf("apdu: command of %d bytes is shorter than a header", len(b))
+	}
+	c := Command{CLA: b[0], INS: b[1], P1: b[2], P2: b[3]}
+	if len(b) == 4 {
+		return c, nil
+	}
+	lc := int(b[4])
+	if len(b) != 5+lc {
+		return Command{}, fmt.Errorf("apdu: Lc=%d but %d data bytes follow", lc, len(b)-5)
+	}
+	c.Data = b[5 : 5+lc]
+	return c, nil
+}
+
+// Status words.
+const (
+	SWOK            = 0x9000 // success
+	SWBytesRemain   = 0x6100 // more output available (low byte: hint)
+	SWWrongData     = 0x6A80 // malformed data field
+	SWConditions    = 0x6985 // conditions of use not satisfied
+	SWMemoryFailure = 0x6581 // secure memory exhausted
+	SWSecurity      = 0x6982 // integrity/authentication failure
+	SWUnknownINS    = 0x6D00 // INS not supported
+)
+
+// Response is one card-to-terminal APDU.
+type Response struct {
+	Data []byte
+	SW   uint16
+}
+
+// Marshal encodes data || SW1 SW2.
+func (r Response) Marshal() []byte {
+	out := make([]byte, 0, len(r.Data)+2)
+	out = append(out, r.Data...)
+	return append(out, byte(r.SW>>8), byte(r.SW))
+}
+
+// UnmarshalResponse decodes a response frame.
+func UnmarshalResponse(b []byte) (Response, error) {
+	if len(b) < 2 {
+		return Response{}, fmt.Errorf("apdu: response of %d bytes lacks a status word", len(b))
+	}
+	return Response{
+		Data: b[:len(b)-2],
+		SW:   uint16(b[len(b)-2])<<8 | uint16(b[len(b)-1]),
+	}, nil
+}
+
+// OK reports whether the status word signals success (or remaining
+// output).
+func (r Response) OK() bool {
+	return r.SW == SWOK || r.SW&0xFF00 == SWBytesRemain
+}

@@ -1,0 +1,86 @@
+package apdu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accessrule"
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestAPDUDifferential drives randomized sessions entirely over the APDU
+// protocol — chunked commands, chunked record responses — and checks the
+// result against the reference semantics. This is the third, most
+// protocol-faithful layer of the differential tower (engine, encrypted
+// pipeline, APDU).
+func TestAPDUDifferential(t *testing.T) {
+	iterations := 25
+	if testing.Short() {
+		iterations = 6
+	}
+	for seed := int64(0); seed < int64(iterations); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			doc := workload.RandomDocument(workload.TreeConfig{
+				Seed: seed, Elements: 60 + int(seed*13), MaxDepth: 6, MaxFanout: 4,
+				AttrProb: 0.25, TextProb: 0.7,
+				Tags: []string{"a", "b", "c", "d", "e"},
+			})
+			rcfg := workload.RuleConfig{
+				Seed: seed + 300, Count: 1 + int(seed%4),
+				Tags:     []string{"a", "b", "c", "d", "e", "@a"},
+				MaxSteps: 3, DescProb: 0.4, PredProb: 0.3, ValuePredProb: 0.3, NegProb: 0.4,
+			}
+			if seed%2 == 0 {
+				rcfg.DefaultSign = accessrule.Permit
+			}
+			rs := workload.RandomRuleSet("u", rcfg)
+			query := ""
+			if seed%3 == 1 {
+				query = workload.RandomQuery(workload.RuleConfig{
+					Seed: seed + 800, Tags: rcfg.Tags, MaxSteps: 3, DescProb: 0.5,
+				}).String()
+			}
+
+			key := secure.KeyFromSeed(fmt.Sprintf("apdu-diff-%d", seed))
+			store := dsp.NewMemStore()
+			pub := &proxy.Publisher{Store: store}
+			if _, err := pub.PublishDocument(doc, docenc.EncodeOptions{
+				DocID: "d", Key: key, BlockPlain: 64, MinSkipBytes: 24,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			rs.DocID = "d"
+			if err := pub.GrantRules(key, rs); err != nil {
+				t.Fatal(err)
+			}
+
+			term := &Terminal{Store: store, Channel: NewApplet(card.New(card.Modern))}
+			if err := term.ProvisionKey("d", key.Marshal()); err != nil {
+				t.Fatal(err)
+			}
+			if err := term.InstallRules("u", "d"); err != nil {
+				t.Fatal(err)
+			}
+			got, err := term.Query("u", "d", query)
+			if err != nil {
+				t.Fatalf("query: %v\nrules:\n%s", err, rs)
+			}
+
+			var q *xpath.Path
+			if query != "" {
+				q = xpath.MustParse(query)
+			}
+			want := accessrule.ApplyTreeQuery(doc, rs, q)
+			if !got.Equal(want) {
+				t.Fatalf("APDU result diverges from oracle\nrules:\n%s\nquery: %s", rs, query)
+			}
+		})
+	}
+}

@@ -1,0 +1,107 @@
+package automaton
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tagdict"
+	"repro/internal/xpath"
+)
+
+// Dump renders the machine as indented text, one state per line, in the
+// spirit of the paper's Figure 2: the navigational chain first, then each
+// predicate chain.
+func (m *Machine) Dump(dict *tagdict.Dict) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine for %s (%d states, %d predicates)\n",
+		m.Source, len(m.States), len(m.Preds))
+	for id, s := range m.States {
+		fmt.Fprintf(&b, "  s%-3d", id)
+		var marks []string
+		if id == 0 {
+			marks = append(marks, "start")
+		}
+		if s.SelfLoop {
+			marks = append(marks, "//")
+		}
+		if s.NavFinal {
+			marks = append(marks, "NAV-FINAL")
+		}
+		if s.PredFinal >= 0 {
+			pf := fmt.Sprintf("PRED-FINAL(p%d", s.PredFinal)
+			switch s.Cmp {
+			case xpath.Eq:
+				pf += fmt.Sprintf(" = %q", s.CmpValue)
+			case xpath.Neq:
+				pf += fmt.Sprintf(" != %q", s.CmpValue)
+			}
+			marks = append(marks, pf+")")
+		}
+		if len(marks) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(marks, ","))
+		}
+		for _, tr := range s.Trans {
+			fmt.Fprintf(&b, "  --%s--> s%d", transLabel(tr, dict), tr.Target)
+		}
+		for _, ps := range s.StartPreds {
+			fmt.Fprintf(&b, "  anchors p%d@s%d", ps.Pred, ps.Start)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// DOT renders the machine in Graphviz format: navigational states filled
+// white, predicate states gray, reproducing the paper's Figure 2 layout
+// conventions.
+func (m *Machine) DOT(dict *tagdict.Dict, name string) string {
+	predState := make([]bool, len(m.States))
+	for _, p := range m.Preds {
+		for id := p.Start; id <= p.Final; id++ {
+			predState[id] = true
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  label=%q;\n", name, m.Source.String())
+	for id, s := range m.States {
+		fill := "white"
+		if predState[id] {
+			fill = "gray80"
+		}
+		shape := "circle"
+		if s.NavFinal || s.PredFinal >= 0 {
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(&b, "  s%d [shape=%s,style=filled,fillcolor=%s,label=\"%d\"];\n",
+			id, shape, fill, id)
+		if s.SelfLoop {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=\"*\",style=dashed];\n", id, id)
+		}
+		for _, tr := range s.Trans {
+			fmt.Fprintf(&b, "  s%d -> s%d [label=%q];\n", id, tr.Target, transLabel(tr, dict))
+		}
+		for _, ps := range s.StartPreds {
+			fmt.Fprintf(&b, "  s%d -> s%d [style=dotted,label=\"p%d\"];\n", id, ps.Start, ps.Pred)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func transLabel(tr Transition, dict *tagdict.Dict) string {
+	switch tr.Kind {
+	case Exact:
+		if dict != nil && int(tr.Code) < dict.Len() {
+			return dict.Name(tr.Code)
+		}
+		return fmt.Sprintf("#%d", tr.Code)
+	case WildElem:
+		return "*"
+	case WildAttr:
+		return "@*"
+	case Never:
+		return "⊥"
+	default:
+		return "?"
+	}
+}

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/docenc"
+	"repro/internal/workload"
+)
+
+// E1RuleScaling measures evaluator throughput as the rule count grows,
+// across the four rule-shape profiles, with and without the skip index
+// (whose per-subtree tag sets drive rule suspension). The demonstrated
+// claim: thanks to suspension, cost grows sub-linearly in the number of
+// rules — most automata sleep through most of the document.
+func E1RuleScaling() []*Table {
+	doc := workload.RandomDocument(workload.TreeConfig{
+		Seed:      42,
+		Elements:  3000,
+		MaxDepth:  8,
+		MaxFanout: 6,
+		AttrProb:  0.3,
+		TextProb:  0.7,
+	})
+	payload := MustPayload(doc, docenc.EncodeOptions{MinSkipBytes: 32})
+
+	t := &Table{
+		ID:    "E1",
+		Title: "evaluator throughput vs number of rules (3000-element document)",
+		Columns: []string{"profile", "rules", "events/s(idx)", "events/s(no idx)",
+			"trans/event(idx)", "trans/event(no idx)", "suspended"},
+		Notes: []string{
+			"events/s: wall-clock throughput of the pure engine (no card, no crypto)",
+			"trans/event: automaton transitions scanned per input event (machine-independent work measure)",
+			"suspended: NFA entries put to sleep by the index (rule suspension)",
+		},
+	}
+	for _, profile := range workload.Profiles {
+		for _, n := range []int{4, 8, 16, 32, 64, 128} {
+			cfg := workload.ProfileConfig(profile, 7, n, nil)
+			rs := workload.RandomRuleSet("bench", cfg)
+			withIdx, err := RunEngine(payload, rs, nil, false)
+			if err != nil {
+				panic(fmt.Sprintf("E1: %v", err))
+			}
+			noIdx, err := RunEngine(payload, rs, nil, true)
+			if err != nil {
+				panic(fmt.Sprintf("E1: %v", err))
+			}
+			t.AddRow(
+				string(profile),
+				fmt.Sprintf("%d", n),
+				rate(withIdx),
+				rate(noIdx),
+				perEvent(withIdx.Stats.TransitionsScanned, withIdx.Events),
+				perEvent(noIdx.Stats.TransitionsScanned, noIdx.Events),
+				fmt.Sprintf("%d", withIdx.Stats.EntriesSuspended),
+			)
+		}
+	}
+	return []*Table{t}
+}
+
+func rate(r *EngineRun) string {
+	if r.Wall <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0fk", float64(r.Events)/r.Wall.Seconds()/1000)
+}
+
+func perEvent(n, events int) string {
+	if events == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", float64(n)/float64(events))
+}

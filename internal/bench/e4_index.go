@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/docenc"
+	"repro/internal/workload"
+	"repro/internal/xmlstream"
+)
+
+// E4IndexOverhead measures the skip index's storage cost across document
+// shapes, and the effect of the two compactness mechanisms the paper
+// describes: recursive bitmap compression and the indexing threshold.
+// Expected shape: single-digit-percent overhead with recursive
+// compression, a multiple of that with flat bitmaps, growing with the
+// number of distinct tags.
+func E4IndexOverhead() []*Table {
+	docs := []struct {
+		name string
+		doc  *xmlstream.Node
+	}{
+		{"medical", workload.MedicalFolder(workload.MedicalConfig{Seed: 4, Patients: 40, VisitsPerPatient: 4})},
+		{"agenda", workload.Agenda(workload.AgendaConfig{Seed: 4, Members: 30, EventsPerMember: 6})},
+		{"catalog", workload.Catalog(workload.CatalogConfig{Seed: 4, Categories: 15, ProductsPerCategory: 12})},
+		{"stream", workload.MediaStream(workload.StreamConfig{Seed: 4, Segments: 120, PayloadBytes: 256})},
+		{"wide-tags", workload.RandomDocument(workload.TreeConfig{
+			Seed: 4, Elements: 2500, MaxDepth: 7, MaxFanout: 5, TextProb: 0.7,
+			Tags: manyTags(120),
+		})},
+	}
+
+	t := &Table{
+		ID:    "E4",
+		Title: "skip-index storage overhead (recursive vs flat bitmaps)",
+		Columns: []string{"document", "tags", "payload KB", "indexed nodes",
+			"index bytes", "overhead", "flat bytes", "flat overhead", "dict bytes"},
+	}
+	for _, d := range docs {
+		_, info, err := docenc.EncodePayload(d.doc, docenc.EncodeOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("E4: %v", err))
+		}
+		base := float64(info.PayloadBytes - info.IndexBytes)
+		t.AddRow(
+			d.name,
+			fmt.Sprintf("%d", info.Dict.Len()),
+			kb(int64(info.PayloadBytes)),
+			fmt.Sprintf("%d", info.IndexedNodes),
+			fmt.Sprintf("%d", info.IndexBytes),
+			pct(float64(info.IndexBytes), base),
+			fmt.Sprintf("%d", info.FlatIndexBytes),
+			pct(float64(info.FlatIndexBytes), base),
+			fmt.Sprintf("%d", info.DictBytes),
+		)
+	}
+
+	t2 := &Table{
+		ID:      "E4b",
+		Title:   "indexing threshold sweep (medical folder): records vs overhead",
+		Columns: []string{"MinSkipBytes", "indexed nodes", "index bytes", "overhead"},
+		Notes:   []string{"lower thresholds index more subtrees (finer skips) at higher storage cost"},
+	}
+	med := workload.MedicalFolder(workload.MedicalConfig{Seed: 4, Patients: 40, VisitsPerPatient: 4})
+	for _, min := range []int{16, 32, 64, 128, 256, 1024} {
+		_, info, err := docenc.EncodePayload(med, docenc.EncodeOptions{MinSkipBytes: min})
+		if err != nil {
+			panic(fmt.Sprintf("E4b: %v", err))
+		}
+		base := float64(info.PayloadBytes - info.IndexBytes)
+		t2.AddRow(
+			fmt.Sprintf("%d", min),
+			fmt.Sprintf("%d", info.IndexedNodes),
+			fmt.Sprintf("%d", info.IndexBytes),
+			pct(float64(info.IndexBytes), base),
+		)
+	}
+
+	// Compression of the structure itself: encoded payload vs XML text.
+	t3 := &Table{
+		ID:      "E4c",
+		Title:   "structure compression: encoded payload vs XML text",
+		Columns: []string{"document", "xml KB", "payload KB", "ratio"},
+	}
+	for _, d := range docs {
+		xml := workload.Text(d.doc)
+		_, info, err := docenc.EncodePayload(d.doc, docenc.EncodeOptions{})
+		if err != nil {
+			panic(fmt.Sprintf("E4c: %v", err))
+		}
+		t3.AddRow(
+			d.name,
+			kb(int64(len(xml))),
+			kb(int64(info.PayloadBytes)),
+			fmt.Sprintf("%.2f", float64(info.PayloadBytes)/float64(len(xml))),
+		)
+	}
+	return []*Table{t, t2, t3}
+}
+
+func manyTags(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("t%03d", i)
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/tagdict"
+	"repro/internal/xmlstream"
+)
+
+// Assembler is the terminal-side consumer of the evaluator's output
+// protocol: it buffers pending events until their groups resolve and
+// reassembles the authorized result in document order.
+//
+// The paper keeps the SOE small by pushing this buffering outside the
+// card: "the nodes upon which [a pending rule] applies are to be
+// delivered only if, later on in the parsing, all the predicate paths are
+// found to reach their final states" — the card tags those nodes with a
+// group, the terminal holds them, and a later resolution message commits
+// or discards them. Note what the terminal buffers is *candidate* output
+// the card chose to release under a pending status; content that is
+// definitively forbidden never leaves the card.
+type Assembler struct {
+	names NameResolver
+	root  *anode
+	stack []*anode
+	// outcome maps resolved groups to their deliver flag.
+	outcome map[GroupID]bool
+	// unresolved counts groups seen in events but not yet resolved.
+	seen map[GroupID]bool
+	err  error
+
+	// pendingEvents / pendingBytes measure the terminal-side buffering
+	// the pending mechanism costs (experiment E6): how much candidate
+	// output sat in the buffer awaiting a resolution.
+	pendingEvents int
+	pendingBytes  int64
+}
+
+// PendingLoad reports how many events (and text bytes) were buffered in
+// pending state over the whole session.
+func (a *Assembler) PendingLoad() (events int, bytes int64) {
+	return a.pendingEvents, a.pendingBytes
+}
+
+// NameResolver maps tag codes back to names at assembly time. A full
+// *tagdict.Dict satisfies it; the terminal proxy uses a partial table
+// learned from the card's lazy bindings.
+type NameResolver interface {
+	Name(code tagdict.Code) string
+}
+
+// anode is a buffered output node.
+type anode struct {
+	code     tagdict.Code
+	isText   bool
+	text     string
+	mode     Mode
+	group    GroupID
+	children []*anode
+}
+
+// NewAssembler returns an Assembler resolving tag codes through names.
+func NewAssembler(names NameResolver) *Assembler {
+	return &Assembler{
+		names:   names,
+		outcome: make(map[GroupID]bool),
+		seen:    make(map[GroupID]bool),
+	}
+}
+
+// EmitOpen implements Emitter.
+func (a *Assembler) EmitOpen(code tagdict.Code, mode Mode, group GroupID) error {
+	if a.err != nil {
+		return a.err
+	}
+	n := &anode{code: code, mode: mode, group: group}
+	a.note(group)
+	if mode == ModePending {
+		a.pendingEvents++
+	}
+	if len(a.stack) == 0 {
+		if a.root != nil {
+			a.err = fmt.Errorf("core: assembler received a second root")
+			return a.err
+		}
+		a.root = n
+	} else {
+		p := a.stack[len(a.stack)-1]
+		p.children = append(p.children, n)
+	}
+	a.stack = append(a.stack, n)
+	return nil
+}
+
+// EmitValue implements Emitter.
+func (a *Assembler) EmitValue(text string, mode Mode, group GroupID) error {
+	if a.err != nil {
+		return a.err
+	}
+	if len(a.stack) == 0 {
+		a.err = fmt.Errorf("core: assembler received a value outside any element")
+		return a.err
+	}
+	a.note(group)
+	if mode == ModePending {
+		a.pendingEvents++
+		a.pendingBytes += int64(len(text))
+	}
+	p := a.stack[len(a.stack)-1]
+	// Merge with an adjacent text sibling of the same status: the card
+	// streams large values in chunks, and adjacent text is one node.
+	if n := len(p.children); n > 0 {
+		last := p.children[n-1]
+		if last.isText && last.mode == mode && last.group == group {
+			last.text += text
+			return nil
+		}
+	}
+	p.children = append(p.children, &anode{isText: true, text: text, mode: mode, group: group})
+	return nil
+}
+
+// EmitClose implements Emitter.
+func (a *Assembler) EmitClose(mode Mode, group GroupID) error {
+	if a.err != nil {
+		return a.err
+	}
+	if len(a.stack) == 0 {
+		a.err = fmt.Errorf("core: assembler received an unbalanced close")
+		return a.err
+	}
+	a.stack = a.stack[:len(a.stack)-1]
+	return nil
+}
+
+// ResolveGroup implements Emitter.
+func (a *Assembler) ResolveGroup(group GroupID, deliver bool) error {
+	if a.err != nil {
+		return a.err
+	}
+	if _, dup := a.outcome[group]; dup {
+		a.err = fmt.Errorf("core: group %d resolved twice", group)
+		return a.err
+	}
+	a.outcome[group] = deliver
+	return nil
+}
+
+func (a *Assembler) note(group GroupID) {
+	if group != 0 {
+		a.seen[group] = true
+	}
+}
+
+// Result finalizes the assembly and returns the authorized view as a
+// tree, or nil when nothing was delivered.
+func (a *Assembler) Result() (*xmlstream.Node, error) {
+	if a.err != nil {
+		return nil, a.err
+	}
+	if len(a.stack) != 0 {
+		return nil, fmt.Errorf("core: assembler finished with %d unclosed element(s)", len(a.stack))
+	}
+	for g := range a.seen {
+		if _, ok := a.outcome[g]; !ok {
+			return nil, fmt.Errorf("core: group %d never resolved", g)
+		}
+	}
+	if a.root == nil {
+		return nil, nil
+	}
+	return a.build(a.root).Canonicalize(), nil
+}
+
+// build prunes and converts a buffered node. Pending nodes degrade per
+// their group's outcome; structural elements survive only if they contain
+// delivered content; attributes are all-or-nothing.
+func (a *Assembler) build(n *anode) *xmlstream.Node {
+	delivered := a.delivered(n)
+	if n.isText {
+		if delivered {
+			return &xmlstream.Node{Text: n.text}
+		}
+		return nil
+	}
+	name := a.names.Name(n.code)
+	out := &xmlstream.Node{Name: name}
+	for _, c := range n.children {
+		if kept := a.build(c); kept != nil {
+			out.Children = append(out.Children, kept)
+		}
+	}
+	if len(name) > 0 && name[0] == '@' {
+		// Attribute pseudo-element: meaningful only when delivered.
+		if delivered {
+			return out
+		}
+		return nil
+	}
+	if delivered || len(out.Children) > 0 {
+		return out
+	}
+	return nil
+}
+
+// delivered computes a buffered node's final delivery status.
+func (a *Assembler) delivered(n *anode) bool {
+	switch n.mode {
+	case ModeDeliver:
+		return true
+	case ModePending:
+		return a.outcome[n.group]
+	default:
+		return false
+	}
+}

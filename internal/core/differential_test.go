@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/accessrule"
+	"repro/internal/workload"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// TestDifferentialVsOracle is the central correctness property of the
+// reproduction: on randomized documents, rule sets and queries, the
+// streaming evaluator must produce exactly the authorized view computed
+// by the materializing reference semantics (accessrule.ApplyTreeQuery).
+func TestDifferentialVsOracle(t *testing.T) {
+	iterations := 400
+	if testing.Short() {
+		iterations = 60
+	}
+	for seed := int64(0); seed < int64(iterations); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			doc := workload.RandomDocument(workload.TreeConfig{
+				Seed:      seed,
+				Elements:  30 + int(seed%50),
+				MaxDepth:  6,
+				MaxFanout: 4,
+				AttrProb:  0.3,
+				TextProb:  0.6,
+				Tags:      []string{"a", "b", "c", "d", "e"},
+			})
+			rcfg := workload.RuleConfig{
+				Seed:          seed + 1000,
+				Count:         1 + int(seed%6),
+				Tags:          []string{"a", "b", "c", "d", "e", "@a", "@b"},
+				MaxSteps:      4,
+				DescProb:      0.4,
+				WildProb:      0.15,
+				PredProb:      0.4,
+				ValuePredProb: 0.3,
+				NegProb:       0.4,
+			}
+			if seed%3 == 0 {
+				rcfg.DefaultSign = accessrule.Permit
+			}
+			rs := workload.RandomRuleSet("tester", rcfg)
+
+			var query *xpath.Path
+			if seed%2 == 1 {
+				query = workload.RandomQuery(workload.RuleConfig{
+					Seed:     seed + 2000,
+					Tags:     rcfg.Tags,
+					MaxSteps: 3,
+					DescProb: 0.5,
+					PredProb: 0.3,
+				})
+			}
+
+			compareFilter(t, doc, rs, query)
+		})
+	}
+}
+
+// TestDifferentialDomains runs the same differential property over the
+// domain workloads (realistic shapes: medical folders, agendas, catalogs,
+// media streams).
+func TestDifferentialDomains(t *testing.T) {
+	docs := map[string]*xmlstream.Node{
+		"medical": workload.MedicalFolder(workload.MedicalConfig{Seed: 7, Patients: 6, VisitsPerPatient: 3}),
+		"agenda":  workload.Agenda(workload.AgendaConfig{Seed: 7, Members: 5, EventsPerMember: 4}),
+		"catalog": workload.Catalog(workload.CatalogConfig{Seed: 7, Categories: 4, ProductsPerCategory: 5}),
+		"stream":  workload.MediaStream(workload.StreamConfig{Seed: 7, Segments: 10, PayloadBytes: 32}),
+	}
+	ruleTexts := map[string][]string{
+		"medical": {
+			"subject doc\ndefault -\n+ /folder\n- //ssn\n- //contact",
+			"subject nurse\n+ //patient\n- //diagnosis\n- //prescription",
+			"subject emergency\n+ //emergency\n+ //patient/name",
+			`subject researcher` + "\n" + `+ //visit[diagnosis = "asthma"]`,
+		},
+		"agenda": {
+			"subject friend\ndefault -\n+ /agenda\n- //phone",
+			`subject public` + "\n" + `+ //event[visibility = "public"]`,
+			`subject user` + "\n" + `+ //member[@user = "user01"]`,
+		},
+		"catalog": {
+			"subject customer\n+ /catalog\n- //margin\n- //stock",
+			`subject manager` + "\n" + `default +` + "\n" + `- //category[@name = "cat02"]`,
+		},
+		"stream": {
+			`subject child` + "\n" + `+ //segment[meta/rating = "all"]`,
+			`subject teen` + "\n" + `default +` + "\n" + `- //segment[meta/rating = "adult"]`,
+		},
+	}
+	queries := []string{"", "//name", "//event", "//product", "//segment"}
+
+	for domain, doc := range docs {
+		for _, rt := range ruleTexts[domain] {
+			rs, err := accessrule.ParseSet(rt)
+			if err != nil {
+				t.Fatalf("%s: %v", domain, err)
+			}
+			for _, qs := range queries {
+				var q *xpath.Path
+				if qs != "" {
+					q = xpath.MustParse(qs)
+				}
+				t.Run(fmt.Sprintf("%s/%s/%s", domain, rs.Subject, qs), func(t *testing.T) {
+					compareFilter(t, doc, rs, q)
+				})
+			}
+		}
+	}
+}
+
+// compareFilter checks streaming result == oracle result.
+func compareFilter(t *testing.T, doc *xmlstream.Node, rs *accessrule.RuleSet, query *xpath.Path) {
+	t.Helper()
+	want := accessrule.ApplyTreeQuery(doc, rs, query)
+	got, _, err := Filter(doc.Events(), rs, query)
+	if err != nil {
+		t.Fatalf("Filter failed: %v\nrules:\n%s", err, rs)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("streaming result diverges from oracle\nrules:\n%s\nquery: %s\ndoc:   %s\ngot:   %s\nwant:  %s",
+			rs, pathString(query), render(doc), render(got), render(want))
+	}
+}
+
+func pathString(p *xpath.Path) string {
+	if p == nil {
+		return "(none)"
+	}
+	return p.String()
+}
+
+func render(n *xmlstream.Node) string {
+	if n == nil {
+		return "(nothing)"
+	}
+	s, err := xmlstream.Serialize(n.Events(), xmlstream.WriterOptions{})
+	if err != nil {
+		return fmt.Sprintf("(unserializable: %v)", err)
+	}
+	return s
+}

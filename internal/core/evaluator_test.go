@@ -1,0 +1,294 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/accessrule"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// runFilter parses a document, applies rules (and optional query) through
+// the streaming engine, and renders the result as compact XML ("" when
+// nothing is visible).
+func runFilter(t *testing.T, doc, rules, query string) string {
+	t.Helper()
+	evs, err := xmlstream.Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("parse doc: %v", err)
+	}
+	rs, err := accessrule.ParseSet(rules)
+	if err != nil {
+		t.Fatalf("parse rules: %v", err)
+	}
+	var q *xpath.Path
+	if query != "" {
+		q, err = xpath.Parse(query)
+		if err != nil {
+			t.Fatalf("parse query: %v", err)
+		}
+	}
+	tree, _, err := Filter(evs, rs, q)
+	if err != nil {
+		t.Fatalf("Filter: %v", err)
+	}
+	if tree == nil {
+		return ""
+	}
+	out, err := xmlstream.Serialize(tree.Events(), xmlstream.WriterOptions{})
+	if err != nil {
+		t.Fatalf("serialize: %v", err)
+	}
+	return out
+}
+
+func TestFilterBasicPermit(t *testing.T) {
+	got := runFilter(t,
+		`<a><b>1</b><c>2</c></a>`,
+		"subject u\n+ //b",
+		"")
+	if got != `<a><b>1</b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterClosedByDefault(t *testing.T) {
+	got := runFilter(t, `<a><b>1</b></a>`, "subject u", "")
+	if got != "" {
+		t.Errorf("closed policy must hide everything, got %q", got)
+	}
+}
+
+func TestFilterOpenDefault(t *testing.T) {
+	got := runFilter(t, `<a><b>1</b></a>`, "subject u\ndefault +", "")
+	if got != `<a><b>1</b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterDenialTakesPrecedence(t *testing.T) {
+	// Both rules apply directly to the same node: denial wins.
+	got := runFilter(t,
+		`<a><b>1</b></a>`,
+		"subject u\n+ //b\n- //b",
+		"")
+	if got != "" {
+		t.Errorf("denial must take precedence, got %q", got)
+	}
+}
+
+func TestFilterMostSpecificOverridesDeny(t *testing.T) {
+	// Subtree denied, but a more specific positive rule re-grants a
+	// descendant; denied ancestors remain as bare structure.
+	got := runFilter(t,
+		`<a><b><c>secret</c><d>ok</d></b></a>`,
+		"subject u\n+ /a\n- /a/b\n+ /a/b/d",
+		"")
+	if got != `<a><b><d>ok</d></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterPropagation(t *testing.T) {
+	// A permission on an element propagates to its whole subtree.
+	got := runFilter(t,
+		`<r><keep><x>1</x><y>2</y></keep><drop><x>3</x></drop></r>`,
+		"subject u\n+ /r/keep",
+		"")
+	if got != `<r><keep><x>1</x><y>2</y></keep></r>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterPaperExample(t *testing.T) {
+	// The paper's Figure 2 rule: ⊕ //b[c]/d — deliver d children of b
+	// elements that have a c child.
+	doc := `<a><b><c>1</c><d>yes</d></b><b><d>no</d></b></a>`
+	got := runFilter(t, doc, "subject u\n+ //b[c]/d", "")
+	if got != `<a><b><d>yes</d></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterPendingPredicateAfterTarget(t *testing.T) {
+	// The predicate child arrives AFTER the target subtree: the rule is
+	// pending when d is met and must commit later (paper Section 2.3).
+	doc := `<a><b><d>yes</d><c>late</c></b><b><d>no</d><e/></b></a>`
+	got := runFilter(t, doc, "subject u\n+ //b[c]/d", "")
+	if got != `<a><b><d>yes</d></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterPendingNegative(t *testing.T) {
+	// A pending NEGATIVE rule: delivery of the first d must be withheld
+	// until [c] resolves, then denied when it holds; everything else
+	// stays visible under the open default.
+	doc := `<a><b><d>x</d><c/></b><b><d>y</d></b></a>`
+	got := runFilter(t, doc, "subject u\ndefault +\n- //b[c]/d", "")
+	if got != `<a><b><c/></b><b><d>y</d></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterValuePredicate(t *testing.T) {
+	doc := `<lib><book><title>go</title><body>A</body></book><book><title>xml</title><body>B</body></book></lib>`
+	got := runFilter(t, doc, `subject u`+"\n"+`+ //book[title = "go"]`, "")
+	if got != `<lib><book><title>go</title><body>A</body></book></lib>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterNeqPredicate(t *testing.T) {
+	doc := `<lib><book><title>go</title></book><book><title>xml</title></book></lib>`
+	got := runFilter(t, doc, `subject u`+"\n"+`+ //book[title != "go"]`, "")
+	if got != `<lib><book><title>xml</title></book></lib>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterAttributes(t *testing.T) {
+	doc := `<r><p id="1"><x>a</x></p><p id="2"><x>b</x></p></r>`
+	got := runFilter(t, doc, `subject u`+"\n"+`+ //p[@id = "2"]`, "")
+	if got != `<r><p id="2"><x>b</x></p></r>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterAttributeDenied(t *testing.T) {
+	// Attributes of a permitted element can be individually denied, and
+	// denied attributes leave no structural trace.
+	doc := `<r><p secret="s" open="o">text</p></r>`
+	got := runFilter(t, doc, "subject u\n+ /r\n- //@secret", "")
+	if got != `<r><p open="o">text</p></r>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterQueryRestriction(t *testing.T) {
+	doc := `<a><b><x>1</x></b><c><x>2</x></c></a>`
+	got := runFilter(t, doc, "subject u\ndefault +", "/a/b")
+	if got != `<a><b><x>1</x></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterQueryIntersectsRules(t *testing.T) {
+	// Query selects both subtrees; rules deny one of them.
+	doc := `<a><b><x>1</x></b><b><x>2</x><hide/></b></a>`
+	got := runFilter(t, doc, "subject u\ndefault +\n- //b[hide]", "//b")
+	if got != `<a><b><x>1</x></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterQueryWithPendingMatch(t *testing.T) {
+	// The query itself has a predicate that resolves late.
+	doc := `<a><b><x>1</x><mark/></b><b><x>2</x></b></a>`
+	got := runFilter(t, doc, "subject u\ndefault +", "//b[mark]")
+	if got != `<a><b><x>1</x><mark/></b></a>` && got != `<a><b><x>1</x><mark></mark></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterNoQueryMatch(t *testing.T) {
+	got := runFilter(t, `<a><b>1</b></a>`, "subject u\ndefault +", "//zzz")
+	if got != "" {
+		t.Errorf("no query match must deliver nothing, got %q", got)
+	}
+}
+
+func TestFilterWildcards(t *testing.T) {
+	doc := `<a><b>1</b><c>2</c></a>`
+	got := runFilter(t, doc, "subject u\n+ /a/*", "")
+	if got != `<a><b>1</b><c>2</c></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterDescendantSelfNesting(t *testing.T) {
+	// //b over nested b's: every b matches; inner content delivered.
+	doc := `<a><b><b><x>deep</x></b></b></a>`
+	got := runFilter(t, doc, "subject u\n+ //b", "")
+	if got != `<a><b><b><x>deep</x></b></b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterNestedPredicates(t *testing.T) {
+	doc := `<r><s><t><u>1</u></t><v>keep</v></s><s><t>plain</t><v>drop</v></s></r>`
+	got := runFilter(t, doc, "subject u\n+ //s[t[u]]/v", "")
+	if got != `<r><s><v>keep</v></s></r>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterRuleForUnknownTag(t *testing.T) {
+	// A rule naming a tag absent from the document must simply never fire.
+	got := runFilter(t, `<a><b>1</b></a>`, "subject u\n+ //nosuch\n+ //b", "")
+	if got != `<a><b>1</b></a>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterDotComparison(t *testing.T) {
+	doc := `<r><k>on</k><k>off</k></r>`
+	got := runFilter(t, doc, `subject u`+"\n"+`+ //k[. = "on"]`, "")
+	if got != `<r><k>on</k></r>` {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestFilterStats(t *testing.T) {
+	// d precedes c: the rule instance is pending when d arrives, so a
+	// group must be created; the token count is one [c] instance per b.
+	evs, _ := xmlstream.Parse([]byte(`<a><b><d>yes</d><c>1</c></b></a>`))
+	rs, _ := accessrule.ParseSet("subject u\n+ //b[c]/d")
+	_, stats, err := Filter(evs, rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Opens != 4 || stats.Closes != 4 || stats.Values != 2 {
+		t.Errorf("event counts wrong: %+v", stats)
+	}
+	if stats.TokensCreated != 1 {
+		t.Errorf("TokensCreated = %d, want 1 (one [c] instance)", stats.TokensCreated)
+	}
+	if stats.GroupsCreated != 1 {
+		t.Errorf("GroupsCreated = %d, want 1 (d delivered while [c] unresolved)", stats.GroupsCreated)
+	}
+	if stats.MaxDepth != 3 {
+		t.Errorf("MaxDepth = %d, want 3", stats.MaxDepth)
+	}
+
+	// Same rule with c first: the instance is definite by the time d
+	// opens, so no group is needed.
+	evs2, _ := xmlstream.Parse([]byte(`<a><b><c>1</c><d>yes</d></b></a>`))
+	_, stats2, err := Filter(evs2, rs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.GroupsCreated != 0 {
+		t.Errorf("GroupsCreated = %d, want 0 when the predicate resolves first", stats2.GroupsCreated)
+	}
+}
+
+func TestEvaluatorRejectsBadConfig(t *testing.T) {
+	if _, err := NewEvaluator(Config{}); err == nil {
+		t.Error("empty config must be rejected")
+	}
+	rs := &accessrule.RuleSet{Subject: "u", DefaultSign: accessrule.Deny}
+	if _, err := NewEvaluator(Config{Rules: rs}); err == nil {
+		t.Error("missing dict must be rejected")
+	}
+}
+
+func TestFilterUnbalancedStream(t *testing.T) {
+	rs, _ := accessrule.ParseSet("subject u\ndefault +")
+	evs := []xmlstream.Event{xmlstream.OpenEvent("a")} // never closed
+	_, _, err := Filter(evs, rs, nil)
+	if err == nil || !strings.Contains(err.Error(), "open element") {
+		t.Errorf("unbalanced stream must fail, got %v", err)
+	}
+}

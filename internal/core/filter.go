@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accessrule"
+	"repro/internal/mem"
+	"repro/internal/tagdict"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// Filter runs the streaming evaluator over an in-memory event stream and
+// returns the authorized view — the paper's engine used as a plain
+// library, without encryption or card simulation. It is also the
+// reference integration point for property tests (its result must equal
+// accessrule.ApplyTreeQuery on every input).
+//
+// A nil query delivers the entire authorized view. The returned tree is
+// nil when nothing is visible.
+func Filter(evs []xmlstream.Event, rules *accessrule.RuleSet, query *xpath.Path) (*xmlstream.Node, Stats, error) {
+	return FilterGauge(evs, rules, query, mem.Nop{})
+}
+
+// FilterGauge is Filter with explicit secure-memory accounting, used by
+// the memory-footprint experiments.
+func FilterGauge(evs []xmlstream.Event, rules *accessrule.RuleSet, query *xpath.Path, gauge mem.Gauge) (*xmlstream.Node, Stats, error) {
+	dict, err := DictFromEvents(evs)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	asm := NewAssembler(dict)
+	ev, err := NewEvaluator(Config{
+		Rules:   rules,
+		Query:   query,
+		Dict:    dict,
+		Emitter: asm,
+		Gauge:   gauge,
+	})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	for i, e := range evs {
+		switch e.Kind {
+		case xmlstream.Open:
+			// No skip index on a raw event stream: meta is nil.
+			if _, err := ev.Open(dict.Code(e.Name), nil); err != nil {
+				return nil, ev.Stats(), fmt.Errorf("core: event %d: %w", i, err)
+			}
+		case xmlstream.Value:
+			if err := ev.Value(e.Text); err != nil {
+				return nil, ev.Stats(), fmt.Errorf("core: event %d: %w", i, err)
+			}
+		case xmlstream.Close:
+			if err := ev.Close(); err != nil {
+				return nil, ev.Stats(), fmt.Errorf("core: event %d: %w", i, err)
+			}
+		}
+	}
+	if err := ev.Finish(); err != nil {
+		return nil, ev.Stats(), err
+	}
+	tree, err := asm.Result()
+	return tree, ev.Stats(), err
+}
+
+// DictFromEvents builds a frequency-ordered tag dictionary from an event
+// stream (the encoder does the same on the publishing side).
+func DictFromEvents(evs []xmlstream.Event) (*tagdict.Dict, error) {
+	stats := xmlstream.CollectStats(evs)
+	return tagdict.FromCounts(stats.TagCounts)
+}

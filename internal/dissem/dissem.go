@@ -1,0 +1,196 @@
+// Package dissem implements the push scenario of the demonstration:
+// "selective dissemination of multimedia streams through unsecured
+// channels" (Section 3). A publisher broadcasts the encrypted document's
+// blocks in order; every subscriber runs its own SOE which filters the
+// stream against the subscriber's rules — the same engine as pull mode,
+// with one inversion: there is no back-channel, so skips cannot reduce
+// what is *broadcast*, but each subscriber's terminal forwards to its
+// card only the blocks the card asks for, so skips still save the
+// card-link transfer and the decryption that dominate the target
+// hardware.
+package dissem
+
+import (
+	"fmt"
+
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/proxy"
+	"repro/internal/soe"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// Subscriber is one receiving device: a provisioned card plus its
+// terminal-side collector.
+type Subscriber struct {
+	Name    string
+	Card    *card.Card
+	Options soe.Options
+	// Query optionally narrows the subscription (a standing query).
+	Query *xpath.Path
+
+	sess        *soe.Session
+	col         *proxy.Collector
+	meterBefore card.Meter
+
+	// BlocksOffered / BlocksForwarded measure the terminal-side filter.
+	BlocksOffered   int
+	BlocksForwarded int
+}
+
+// NewSubscriber wraps a provisioned card (key and rule set installed).
+func NewSubscriber(name string, c *card.Card, query *xpath.Path, opts soe.Options) *Subscriber {
+	return &Subscriber{Name: name, Card: c, Options: opts, Query: query}
+}
+
+// begin opens the card session when the stream header arrives.
+func (s *Subscriber) begin(subject, docID string, hdrBytes []byte) error {
+	s.meterBefore = s.Card.Meter
+	sess, err := soe.NewSession(s.Card, docID, subject, s.Query, s.Options)
+	if err != nil {
+		return err
+	}
+	if err := sess.LoadHeader(hdrBytes); err != nil {
+		return err
+	}
+	s.sess = sess
+	s.col = proxy.NewCollector()
+	return nil
+}
+
+// offer hands a broadcast block to the subscriber. The terminal forwards
+// it to the card only if the card's wanted offset lies inside it.
+func (s *Subscriber) offer(idx int, blk []byte) error {
+	s.BlocksOffered++
+	if s.sess.Done() {
+		return nil
+	}
+	want := s.sess.NeedBlock()
+	if want < 0 || want != idx {
+		return nil // skipped or not yet wanted: dropped at the terminal
+	}
+	s.BlocksForwarded++
+	out, err := s.sess.Feed(idx, blk)
+	if err != nil {
+		return err
+	}
+	return soe.DecodeRecords(out, s.col)
+}
+
+// Reception is a subscriber's outcome.
+type Reception struct {
+	Subscriber string
+	// Tree is the filtered stream content delivered to the application.
+	Tree *xmlstream.Node
+	// BlocksOffered / BlocksForwarded: broadcast size vs card traffic.
+	BlocksOffered   int
+	BlocksForwarded int
+	// Meter is the card work spent on this stream.
+	Meter card.Meter
+	// Time prices the meter under the subscriber's card profile.
+	Time card.TimeBreakdown
+	// Session exposes evaluator counters (skips, RAM peak).
+	Session soe.Stats
+}
+
+// finish closes the session and assembles the delivered content.
+func (s *Subscriber) finish() (*Reception, error) {
+	if !s.sess.Done() {
+		return nil, fmt.Errorf("dissem: stream ended but subscriber %s's session is not done", s.Name)
+	}
+	tree, err := s.col.Result()
+	if err != nil {
+		return nil, err
+	}
+	r := &Reception{
+		Subscriber:      s.Name,
+		Tree:            tree,
+		BlocksOffered:   s.BlocksOffered,
+		BlocksForwarded: s.BlocksForwarded,
+		Session:         s.sess.Stats(),
+	}
+	r.Meter = meterDelta(s.meterBefore, s.Card.Meter)
+	r.Time = r.Meter.Price(s.Card.Profile)
+	return r, nil
+}
+
+// Broadcast pushes one encrypted container to a set of subscribers, in
+// block order, with no back-channel — the "unsecured channel" of the
+// demo: any number of devices may listen; only provisioned cards can
+// decrypt, and each delivers only its subject's authorized view.
+func Broadcast(container *docenc.Container, subject string, subs []*Subscriber) ([]*Reception, error) {
+	hdrBytes, err := container.Header.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range subs {
+		if err := s.begin(subject, container.Header.DocID, hdrBytes); err != nil {
+			return nil, fmt.Errorf("dissem: subscriber %s: %w", s.Name, err)
+		}
+	}
+	for idx, blk := range container.Blocks {
+		for _, s := range subs {
+			if err := s.offer(idx, blk); err != nil {
+				return nil, fmt.Errorf("dissem: subscriber %s at block %d: %w", s.Name, idx, err)
+			}
+		}
+	}
+	out := make([]*Reception, 0, len(subs))
+	for _, s := range subs {
+		r, err := s.finish()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// BroadcastPerSubject runs Broadcast with per-subscriber subjects (each
+// card filters under its own identity).
+func BroadcastPerSubject(container *docenc.Container, subjects map[string]string, subs []*Subscriber) ([]*Reception, error) {
+	hdrBytes, err := container.Header.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range subs {
+		subject, ok := subjects[s.Name]
+		if !ok {
+			return nil, fmt.Errorf("dissem: no subject for subscriber %s", s.Name)
+		}
+		if err := s.begin(subject, container.Header.DocID, hdrBytes); err != nil {
+			return nil, fmt.Errorf("dissem: subscriber %s: %w", s.Name, err)
+		}
+	}
+	for idx, blk := range container.Blocks {
+		for _, s := range subs {
+			if err := s.offer(idx, blk); err != nil {
+				return nil, fmt.Errorf("dissem: subscriber %s at block %d: %w", s.Name, idx, err)
+			}
+		}
+	}
+	out := make([]*Reception, 0, len(subs))
+	for _, s := range subs {
+		r, err := s.finish()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func meterDelta(before, after card.Meter) card.Meter {
+	return card.Meter{
+		BytesToCard:   after.BytesToCard - before.BytesToCard,
+		BytesFromCard: after.BytesFromCard - before.BytesFromCard,
+		APDUs:         after.APDUs - before.APDUs,
+		CryptoBytes:   after.CryptoBytes - before.CryptoBytes,
+		MACBytes:      after.MACBytes - before.MACBytes,
+		Events:        after.Events - before.Events,
+		Transitions:   after.Transitions - before.Transitions,
+		CopyBytes:     after.CopyBytes - before.CopyBytes,
+		EEPROMBytes:   after.EEPROMBytes - before.EEPROMBytes,
+	}
+}

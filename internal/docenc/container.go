@@ -1,0 +1,193 @@
+package docenc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/secure"
+)
+
+// Header is the cleartext part of a container: the minimum the terminal
+// and DSP need to address blocks. It is authenticated with the document
+// key, so the SOE detects any tampering with the geometry (shrinking
+// PayloadLen would otherwise truncate the document undetected).
+type Header struct {
+	DocID      string
+	Version    uint32
+	BlockPlain uint32
+	PayloadLen uint64
+	MAC        [secure.HeaderMACLen]byte
+}
+
+// magic identifies the container format.
+var magic = [4]byte{'S', 'D', 'S', '1'}
+
+// canonical serializes the MAC'd fields.
+func (h *Header) canonical() []byte {
+	var b []byte
+	b = append(b, magic[:]...)
+	b = binary.AppendUvarint(b, uint64(len(h.DocID)))
+	b = append(b, h.DocID...)
+	b = binary.AppendUvarint(b, uint64(h.Version))
+	b = binary.AppendUvarint(b, uint64(h.BlockPlain))
+	b = binary.AppendUvarint(b, h.PayloadLen)
+	return b
+}
+
+// MarshalBinary serializes the header (canonical fields + MAC).
+func (h *Header) MarshalBinary() ([]byte, error) {
+	return append(h.canonical(), h.MAC[:]...), nil
+}
+
+// UnmarshalHeader decodes a header and returns the bytes consumed.
+func UnmarshalHeader(data []byte) (Header, int, error) {
+	var h Header
+	if len(data) < 4 || [4]byte(data[:4]) != magic {
+		return h, 0, fmt.Errorf("docenc: bad container magic")
+	}
+	pos := 4
+	l, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return h, 0, fmt.Errorf("docenc: truncated header")
+	}
+	pos += n
+	if pos+int(l) > len(data) {
+		return h, 0, fmt.Errorf("docenc: truncated doc id")
+	}
+	h.DocID = string(data[pos : pos+int(l)])
+	pos += int(l)
+	v, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return h, 0, fmt.Errorf("docenc: truncated version")
+	}
+	h.Version = uint32(v)
+	pos += n
+	bp, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return h, 0, fmt.Errorf("docenc: truncated block size")
+	}
+	h.BlockPlain = uint32(bp)
+	pos += n
+	pl, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return h, 0, fmt.Errorf("docenc: truncated payload length")
+	}
+	h.PayloadLen = pl
+	pos += n
+	if pos+secure.HeaderMACLen > len(data) {
+		return h, 0, fmt.Errorf("docenc: truncated header MAC")
+	}
+	copy(h.MAC[:], data[pos:pos+secure.HeaderMACLen])
+	pos += secure.HeaderMACLen
+	if h.BlockPlain == 0 {
+		return h, 0, fmt.Errorf("docenc: zero block size")
+	}
+	return h, pos, nil
+}
+
+// Verify checks the header tag against the document key.
+func (h *Header) Verify(key secure.DocKey) error {
+	return secure.VerifyHeaderMAC(key, h.canonical(), h.MAC)
+}
+
+// NumBlocks derives the block count from the geometry.
+func (h *Header) NumBlocks() int {
+	if h.PayloadLen == 0 {
+		return 0
+	}
+	return int((h.PayloadLen + uint64(h.BlockPlain) - 1) / uint64(h.BlockPlain))
+}
+
+// BlockRange maps a plaintext byte range to the block indexes covering it.
+func (h *Header) BlockRange(off, n int) (first, count int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	first = off / int(h.BlockPlain)
+	last := (off + n - 1) / int(h.BlockPlain)
+	return first, last - first + 1
+}
+
+// Container is the stored form of a document: header plus one stored
+// block (ciphertext||tag) per plaintext block.
+type Container struct {
+	Header Header
+	Blocks [][]byte
+}
+
+// StoredSize is the total bytes the DSP keeps for this document.
+func (c *Container) StoredSize() int {
+	h, _ := c.Header.MarshalBinary()
+	total := len(h)
+	for _, b := range c.Blocks {
+		total += len(b)
+	}
+	return total
+}
+
+// MarshalBinary flattens the container (header, then blocks in order;
+// block boundaries are recomputable from the geometry).
+func (c *Container) MarshalBinary() ([]byte, error) {
+	out, err := c.Header.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if len(c.Blocks) != c.Header.NumBlocks() {
+		return nil, fmt.Errorf("docenc: container has %d blocks, geometry says %d",
+			len(c.Blocks), c.Header.NumBlocks())
+	}
+	for _, b := range c.Blocks {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// UnmarshalContainer reverses MarshalBinary.
+func UnmarshalContainer(data []byte) (*Container, error) {
+	h, n, err := UnmarshalHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{Header: h}
+	rest := data[n:]
+	remaining := int(h.PayloadLen)
+	for i := 0; i < h.NumBlocks(); i++ {
+		plainLen := int(h.BlockPlain)
+		if remaining < plainLen {
+			plainLen = remaining
+		}
+		stored := plainLen + secure.MACLen
+		if len(rest) < stored {
+			return nil, fmt.Errorf("docenc: container truncated at block %d", i)
+		}
+		c.Blocks = append(c.Blocks, rest[:stored:stored])
+		rest = rest[stored:]
+		remaining -= plainLen
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("docenc: %d trailing bytes after container", len(rest))
+	}
+	return c, nil
+}
+
+// DecryptPayload verifies and decrypts the full payload (bulk path used
+// by tests and by trusted-terminal baselines; the SOE pipeline decrypts
+// block by block instead).
+func (c *Container) DecryptPayload(key secure.DocKey) ([]byte, error) {
+	if err := c.Header.Verify(key); err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, c.Header.PayloadLen)
+	for i, blk := range c.Blocks {
+		plain, err := secure.DecryptBlock(key, c.Header.DocID, c.Header.Version, uint32(i), blk)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, plain...)
+	}
+	if uint64(len(out)) != c.Header.PayloadLen {
+		return nil, fmt.Errorf("%w: payload length %d does not match header %d",
+			secure.ErrIntegrity, len(out), c.Header.PayloadLen)
+	}
+	return out, nil
+}

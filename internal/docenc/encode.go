@@ -1,0 +1,276 @@
+// Package docenc implements the encrypted document container: the form
+// XML documents take on the untrusted DSP.
+//
+// The plaintext payload is the tag-dictionary-compressed structure stream
+// of Section 2.3 with the skip index interleaved: every sufficiently
+// large element's opening record embeds the set of tags occurring in its
+// content (recursively compressed against its parent's set) and its
+// encoded content size, so the SOE can decide — before decrypting a
+// subtree — whether anything can fire inside it, and jump over it
+// otherwise. The payload is cut into fixed-size blocks, each encrypted
+// and integrity-tagged independently (package secure), so skipped blocks
+// are never transmitted nor decrypted.
+//
+// Payload layout:
+//
+//	dict                     tagdict.MarshalBinary
+//	node                     (the root element)
+//
+//	node      := openMeta | openPlain
+//	openMeta  := 0x01 varint(code) relBitmap varint(len(content)) content
+//	openPlain := 0x02 varint(code) content
+//	content   := (node | value)* 0x03
+//	value     := 0x04 varint(len) bytes
+//
+// A node gets a skip-index record (openMeta) when its encoded content is
+// at least MinSkipBytes; since a child's content is strictly contained in
+// its parent's, index-free subtrees are contiguous and the decoder's
+// parent-set stack stays consistent.
+package docenc
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/secure"
+	"repro/internal/skipindex"
+	"repro/internal/tagdict"
+	"repro/internal/xmlstream"
+)
+
+// Structure stream opcodes.
+const (
+	opOpenMeta  = 0x01
+	opOpenPlain = 0x02
+	opClose     = 0x03
+	opValue     = 0x04
+)
+
+// DefaultBlockPlain is the default plaintext bytes per cipher block. Small
+// blocks keep skip granularity fine and fit one block per APDU, matching
+// the constraints of the paper's target card.
+const DefaultBlockPlain = 128
+
+// DefaultMinSkipBytes is the default content size under which a node
+// carries no index record (the record would cost more than it saves).
+const DefaultMinSkipBytes = 64
+
+// EncodeOptions parameterizes Encode.
+type EncodeOptions struct {
+	// DocID names the document (bound into every block tag).
+	DocID string
+	// Version of the document (re-publication bumps it).
+	Version uint32
+	// Key protects the document.
+	Key secure.DocKey
+	// BlockPlain is the plaintext block size (default DefaultBlockPlain).
+	BlockPlain int
+	// MinSkipBytes is the indexing threshold (default DefaultMinSkipBytes).
+	MinSkipBytes int
+	// DisableIndex omits all skip-index records (ablation baseline).
+	DisableIndex bool
+}
+
+func (o *EncodeOptions) normalize() error {
+	if o.DocID == "" {
+		return fmt.Errorf("docenc: DocID is required")
+	}
+	if o.BlockPlain == 0 {
+		o.BlockPlain = DefaultBlockPlain
+	}
+	if o.BlockPlain < 32 || o.BlockPlain > 65536 {
+		return fmt.Errorf("docenc: BlockPlain %d outside [32,65536]", o.BlockPlain)
+	}
+	if o.MinSkipBytes == 0 {
+		o.MinSkipBytes = DefaultMinSkipBytes
+	}
+	return nil
+}
+
+// EncodeInfo reports how the payload decomposes; experiment E4 (index
+// overhead) reads it.
+type EncodeInfo struct {
+	Dict           *tagdict.Dict
+	PayloadBytes   int
+	DictBytes      int
+	IndexBytes     int // bytes spent on skip-index records
+	StructureBytes int // opcodes and tag codes
+	TextBytes      int // value payloads (with length prefixes)
+	Nodes          int
+	IndexedNodes   int
+	StoredBytes    int // total ciphertext+tag bytes on the DSP
+	// FlatIndexBytes is what the index would cost WITHOUT the paper's
+	// recursive compression (every bitmap over the full dictionary): the
+	// E4 ablation, computed analytically during encoding.
+	FlatIndexBytes int
+}
+
+// Encode compresses, indexes, encrypts and packages a document.
+func Encode(root *xmlstream.Node, opts EncodeOptions) (*Container, *EncodeInfo, error) {
+	payload, info, err := EncodePayload(root, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	container, err := Seal(payload, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	info.StoredBytes = container.StoredSize()
+	return container, info, nil
+}
+
+// EncodePayload builds the plaintext payload (dictionary + indexed
+// structure stream) without encrypting it. Engine-only benchmarks and the
+// index-overhead experiment use it directly.
+func EncodePayload(root *xmlstream.Node, opts EncodeOptions) ([]byte, *EncodeInfo, error) {
+	if root == nil || root.IsText() {
+		return nil, nil, fmt.Errorf("docenc: document root must be an element")
+	}
+	if opts.DocID == "" {
+		opts.DocID = "payload-only"
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, nil, err
+	}
+
+	stats := xmlstream.CollectStats(root.Events())
+	dict, err := tagdict.FromCounts(stats.TagCounts)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	enc := &encoder{dict: dict, opts: &opts, info: &EncodeInfo{Dict: dict}}
+	info, err := enc.annotate(root)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	payload, err := dict.MarshalBinary()
+	if err != nil {
+		return nil, nil, err
+	}
+	enc.info.DictBytes = len(payload)
+
+	universe := skipindex.NewSet(dict.Len())
+	for i := 0; i < dict.Len(); i++ {
+		universe.Add(tagdict.Code(i))
+	}
+	payload = enc.encodeNode(payload, info, universe)
+	enc.info.PayloadBytes = len(payload)
+	return payload, enc.info, nil
+}
+
+// Seal encrypts a ready payload into a container (Encode's last stage,
+// exposed for re-encryption experiments).
+func Seal(payload []byte, opts EncodeOptions) (*Container, error) {
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	c := &Container{
+		Header: Header{
+			DocID:      opts.DocID,
+			Version:    opts.Version,
+			BlockPlain: uint32(opts.BlockPlain),
+			PayloadLen: uint64(len(payload)),
+		},
+	}
+	c.Header.MAC = secure.HeaderMAC(opts.Key, c.Header.canonical())
+	for i := 0; i < len(payload); i += opts.BlockPlain {
+		end := i + opts.BlockPlain
+		if end > len(payload) {
+			end = len(payload)
+		}
+		blk, err := secure.EncryptBlock(opts.Key, opts.DocID, opts.Version,
+			uint32(len(c.Blocks)), payload[i:end])
+		if err != nil {
+			return nil, err
+		}
+		c.Blocks = append(c.Blocks, blk)
+	}
+	return c, nil
+}
+
+// nodeInfo is the annotation tree of the two-phase encoder: phase A
+// computes content tag sets bottom-up; phase B emits bytes top-down
+// (child records are compressed against the parent set, which is only
+// known once all children are annotated).
+type nodeInfo struct {
+	node     *xmlstream.Node
+	code     tagdict.Code
+	tags     skipindex.Set // codes strictly below the node
+	children []*nodeInfo   // parallel to element children; nil for text
+}
+
+type encoder struct {
+	dict *tagdict.Dict
+	opts *EncodeOptions
+	info *EncodeInfo
+}
+
+func (e *encoder) annotate(n *xmlstream.Node) (*nodeInfo, error) {
+	code := e.dict.Code(n.Name)
+	if code == tagdict.NoCode {
+		return nil, fmt.Errorf("docenc: tag %q missing from dictionary", n.Name)
+	}
+	info := &nodeInfo{node: n, code: code, tags: skipindex.NewSet(e.dict.Len())}
+	e.info.Nodes++
+	for _, c := range n.Children {
+		if c.IsText() {
+			info.children = append(info.children, nil)
+			continue
+		}
+		ci, err := e.annotate(c)
+		if err != nil {
+			return nil, err
+		}
+		info.children = append(info.children, ci)
+		info.tags.Add(ci.code)
+		info.tags.UnionWith(ci.tags)
+	}
+	return info, nil
+}
+
+// encodeNode appends the node's encoding to dst. parentTags is the
+// content tag set of the parent (the full universe for the root).
+func (e *encoder) encodeNode(dst []byte, info *nodeInfo, parentTags skipindex.Set) []byte {
+	var content []byte
+	for i, c := range info.node.Children {
+		if c.IsText() {
+			content = append(content, opValue)
+			content = binary.AppendUvarint(content, uint64(len(c.Text)))
+			content = append(content, c.Text...)
+			e.info.TextBytes += 1 + uvarintLen(uint64(len(c.Text))) + len(c.Text)
+			continue
+		}
+		content = e.encodeNode(content, info.children[i], info.tags)
+	}
+	content = append(content, opClose)
+
+	indexed := !e.opts.DisableIndex && len(content) >= e.opts.MinSkipBytes
+	if indexed {
+		dst = append(dst, opOpenMeta)
+		dst = binary.AppendUvarint(dst, uint64(info.code))
+		before := len(dst)
+		dst = skipindex.AppendMeta(dst, skipindex.NodeMeta{
+			Tags:        info.tags,
+			ContentSize: len(content),
+		}, parentTags)
+		e.info.IndexBytes += len(dst) - before
+		e.info.FlatIndexBytes += (e.dict.Len()+7)/8 + uvarintLen(uint64(len(content)))
+		e.info.IndexedNodes++
+	} else {
+		dst = append(dst, opOpenPlain)
+		dst = binary.AppendUvarint(dst, uint64(info.code))
+	}
+	e.info.StructureBytes += 1 + uvarintLen(uint64(info.code)) + 1 // open, code, close
+	return append(dst, content...)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

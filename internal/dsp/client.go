@@ -1,0 +1,123 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/docenc"
+)
+
+// Client is a Store backed by a remote dspd server. Requests on one
+// client are serialized (the protocol is strictly request/response);
+// open several clients for concurrency.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+
+	// BytesRead counts response payload bytes: the "transferred from the
+	// DSP" measure of experiment E3 when running against a real server.
+	BytesRead int64
+}
+
+// Dial connects to a dspd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dsp: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends a request and decodes the status byte.
+func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp) == 0 {
+		return nil, fmt.Errorf("dsp: empty response")
+	}
+	c.BytesRead += int64(len(resp))
+	switch resp[0] {
+	case statusOK:
+		return resp[1:], nil
+	case statusErr:
+		return nil, fmt.Errorf("dsp: server: %s", resp[1:])
+	default:
+		return nil, fmt.Errorf("dsp: bad response status %d", resp[0])
+	}
+}
+
+// PutDocument implements Store.
+func (c *Client) PutDocument(container *docenc.Container) error {
+	body, err := container.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = c.roundTrip(append([]byte{opPutDocument}, body...))
+	return err
+}
+
+// Header implements Store.
+func (c *Client) Header(docID string) (docenc.Header, error) {
+	resp, err := c.roundTrip(appendString([]byte{opHeader}, docID))
+	if err != nil {
+		return docenc.Header{}, err
+	}
+	h, _, err := docenc.UnmarshalHeader(resp)
+	return h, err
+}
+
+// ReadBlock implements Store.
+func (c *Client) ReadBlock(docID string, idx int) ([]byte, error) {
+	req := appendString([]byte{opReadBlock}, docID)
+	req = binary.AppendUvarint(req, uint64(idx))
+	return c.roundTrip(req)
+}
+
+// PutRuleSet implements Store.
+func (c *Client) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
+	req := appendString([]byte{opPutRuleSet}, docID)
+	req = appendString(req, subject)
+	req = binary.AppendUvarint(req, uint64(version))
+	req = appendBytes(req, sealed)
+	_, err := c.roundTrip(req)
+	return err
+}
+
+// RuleSet implements Store.
+func (c *Client) RuleSet(docID, subject string) ([]byte, error) {
+	req := appendString([]byte{opRuleSet}, docID)
+	req = appendString(req, subject)
+	return c.roundTrip(req)
+}
+
+// ListDocuments implements Store.
+func (c *Client) ListDocuments() ([]string, error) {
+	resp, err := c.roundTrip([]byte{opList})
+	if err != nil {
+		return nil, err
+	}
+	r := &wireReader{data: resp}
+	n := r.uvarint()
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.string())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+var _ Store = (*Client)(nil)

@@ -1,0 +1,186 @@
+package dsp
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/docenc"
+	"repro/internal/secure"
+	"repro/internal/workload"
+)
+
+func testContainer(t *testing.T, docID string) *docenc.Container {
+	t.Helper()
+	doc := workload.Agenda(workload.AgendaConfig{Seed: 1, Members: 3, EventsPerMember: 2})
+	c, _, err := docenc.Encode(doc, docenc.EncodeOptions{
+		DocID: docID, Key: secure.KeyFromSeed(docID),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// storeContract runs the Store interface contract against any
+// implementation.
+func storeContract(t *testing.T, s Store) {
+	t.Helper()
+	c1 := testContainer(t, "doc1")
+	c2 := testContainer(t, "doc2")
+	if err := s.PutDocument(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutDocument(c2); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := s.Header("doc1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.DocID != "doc1" || h.PayloadLen != c1.Header.PayloadLen {
+		t.Errorf("header changed: %+v", h)
+	}
+	if _, err := s.Header("nosuch"); err == nil {
+		t.Error("unknown document header served")
+	}
+
+	blk, err := s.ReadBlock("doc1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(blk) != string(c1.Blocks[0]) {
+		t.Error("block bytes changed")
+	}
+	if _, err := s.ReadBlock("doc1", len(c1.Blocks)); err == nil {
+		t.Error("out-of-range block served")
+	}
+	if _, err := s.ReadBlock("nosuch", 0); err == nil {
+		t.Error("unknown document block served")
+	}
+
+	if err := s.PutRuleSet("doc1", "alice", 3, []byte("sealed-v3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRuleSet("doc1", "alice", 2, []byte("sealed-v2")); err == nil {
+		t.Error("an honest store must refuse stale rule sets")
+	}
+	got, err := s.RuleSet("doc1", "alice")
+	if err != nil || string(got) != "sealed-v3" {
+		t.Fatalf("RuleSet = %q, %v", got, err)
+	}
+	if _, err := s.RuleSet("doc1", "bob"); err == nil {
+		t.Error("unknown subject's rules served")
+	}
+
+	ids, err := s.ListDocuments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "doc1" || ids[1] != "doc2" {
+		t.Errorf("ListDocuments = %v", ids)
+	}
+}
+
+func TestMemStoreContract(t *testing.T) {
+	storeContract(t, NewMemStore())
+}
+
+func TestTCPStoreContract(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewMemStore())
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	storeContract(t, client)
+	if client.BytesRead == 0 {
+		t.Error("client byte accounting recorded nothing")
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	if err := store.PutDocument(testContainer(t, "doc")); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(store)
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	done := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			client, err := Dial(l.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer client.Close()
+			for j := 0; j < 50; j++ {
+				if _, err := client.ReadBlock("doc", j%3); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMemStoreTamperHelpers(t *testing.T) {
+	s := NewMemStore()
+	if err := s.PutDocument(testContainer(t, "doc")); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := s.ReadBlock("doc", 1)
+	origCopy := append([]byte(nil), orig...)
+	if err := s.Tamper("doc", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := s.ReadBlock("doc", 1)
+	if string(after) == string(origCopy) {
+		t.Error("Tamper changed nothing")
+	}
+	if err := s.Tamper("doc", 999, 0); err == nil {
+		t.Error("tampering a missing block must fail")
+	}
+	if err := s.SwapBlocks("doc", 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	b0, _ := s.ReadBlock("doc", 0)
+	if string(b0) == string(origCopy) && false {
+		t.Log("(swap result depends on content)")
+	}
+	if err := s.SwapBlocks("doc", 0, 999); err == nil {
+		t.Error("swapping a missing block must fail")
+	}
+}
+
+func TestPutDocumentValidation(t *testing.T) {
+	s := NewMemStore()
+	if err := s.PutDocument(nil); err == nil {
+		t.Error("nil container accepted")
+	}
+	c := testContainer(t, "doc")
+	c.Blocks = c.Blocks[:len(c.Blocks)-1]
+	if err := s.PutDocument(c); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

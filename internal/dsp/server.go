@@ -1,0 +1,194 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/docenc"
+)
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store Store
+	// Logf, when set, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+}
+
+// NewServer wraps a store.
+func NewServer(store Store) *Server {
+	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections until the listener closes. It retains the
+// listener so Close can stop it.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	var err error
+	if s.listener != nil {
+		err = s.listener.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := readFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("dsp: connection %s: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		resp := s.dispatch(req)
+		if err := writeFrame(conn, resp); err != nil {
+			s.logf("dsp: connection %s: write: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// dispatch executes one request and builds the response.
+func (s *Server) dispatch(req []byte) []byte {
+	if len(req) == 0 {
+		return errResponse(fmt.Errorf("dsp: empty request"))
+	}
+	op := req[0]
+	r := &wireReader{data: req, pos: 1}
+	switch op {
+	case opPutDocument:
+		c, err := docenc.UnmarshalContainer(r.rest())
+		if err != nil {
+			return errResponse(err)
+		}
+		if err := s.store.PutDocument(c); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+	case opHeader:
+		docID := r.string()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		h, err := s.store.Header(docID)
+		if err != nil {
+			return errResponse(err)
+		}
+		hb, err := h.MarshalBinary()
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(hb)
+	case opReadBlock:
+		docID := r.string()
+		idx := r.uvarint()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		b, err := s.store.ReadBlock(docID, int(idx))
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(b)
+	case opPutRuleSet:
+		docID := r.string()
+		subject := r.string()
+		version := r.uvarint()
+		sealed := r.bytes()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		if err := s.store.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+	case opRuleSet:
+		docID := r.string()
+		subject := r.string()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		sealed, err := s.store.RuleSet(docID, subject)
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(sealed)
+	case opList:
+		ids, err := s.store.ListDocuments()
+		if err != nil {
+			return errResponse(err)
+		}
+		body := binary.AppendUvarint(nil, uint64(len(ids)))
+		for _, id := range ids {
+			body = appendString(body, id)
+		}
+		return okResponse(body)
+	default:
+		return errResponse(fmt.Errorf("dsp: unknown op %d", op))
+	}
+}
+
+func okResponse(body []byte) []byte {
+	return append([]byte{statusOK}, body...)
+}
+
+func errResponse(err error) []byte {
+	return append([]byte{statusErr}, err.Error()...)
+}

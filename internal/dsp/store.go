@@ -1,0 +1,176 @@
+// Package dsp implements the untrusted Database Service Provider of the
+// architecture: it "hosts encrypted XML documents shared by users as well
+// as encrypted access rules" (Section 3) and serves them to terminals.
+//
+// The store is untrusted by construction: everything it holds is
+// encrypted and integrity-tagged by the publishing side, and the SOE
+// detects tampering, substitution and replay. The store's only functional
+// obligations are availability and range reads — the latter is what turns
+// the SOE's skip decisions into bytes never transmitted.
+//
+// Two implementations are provided: MemStore (in-process) and a TCP
+// client/server pair (cmd/dspd) speaking a length-prefixed binary
+// protocol.
+package dsp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/docenc"
+)
+
+// Store is the DSP interface terminals program against.
+type Store interface {
+	// PutDocument stores (or replaces) a document container.
+	PutDocument(c *docenc.Container) error
+	// Header returns a document's cleartext header.
+	Header(docID string) (docenc.Header, error)
+	// ReadBlock returns one stored block (ciphertext||tag).
+	ReadBlock(docID string, idx int) ([]byte, error)
+	// PutRuleSet stores a subject's sealed rule set for a document.
+	PutRuleSet(docID, subject string, version uint32, sealed []byte) error
+	// RuleSet returns the latest sealed rule set for (doc, subject).
+	RuleSet(docID, subject string) ([]byte, error)
+	// ListDocuments returns the stored document ids, sorted.
+	ListDocuments() ([]string, error)
+}
+
+// MemStore is the in-process Store.
+type MemStore struct {
+	mu    sync.RWMutex
+	docs  map[string]*docenc.Container
+	rules map[string]ruleEntry
+}
+
+type ruleEntry struct {
+	version uint32
+	sealed  []byte
+}
+
+// NewMemStore returns an empty store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		docs:  make(map[string]*docenc.Container),
+		rules: make(map[string]ruleEntry),
+	}
+}
+
+// PutDocument implements Store.
+func (s *MemStore) PutDocument(c *docenc.Container) error {
+	if c == nil || c.Header.DocID == "" {
+		return fmt.Errorf("dsp: container without document id")
+	}
+	if len(c.Blocks) != c.Header.NumBlocks() {
+		return fmt.Errorf("dsp: container block count %d does not match geometry %d",
+			len(c.Blocks), c.Header.NumBlocks())
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[c.Header.DocID] = c
+	return nil
+}
+
+// Header implements Store.
+func (s *MemStore) Header(docID string) (docenc.Header, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.docs[docID]
+	if !ok {
+		return docenc.Header{}, fmt.Errorf("dsp: unknown document %q", docID)
+	}
+	return c.Header, nil
+}
+
+// ReadBlock implements Store.
+func (s *MemStore) ReadBlock(docID string, idx int) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.docs[docID]
+	if !ok {
+		return nil, fmt.Errorf("dsp: unknown document %q", docID)
+	}
+	if idx < 0 || idx >= len(c.Blocks) {
+		return nil, fmt.Errorf("dsp: block %d out of range [0,%d) for %q", idx, len(c.Blocks), docID)
+	}
+	return c.Blocks[idx], nil
+}
+
+// PutRuleSet implements Store. The store keeps only the latest version it
+// has seen; an honest store thereby serves fresh rights, and a malicious
+// one replaying old blobs is caught by the card's version check, not here.
+func (s *MemStore) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
+	if subject == "" {
+		return fmt.Errorf("dsp: rule set without subject")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := docID + "\x00" + subject
+	if cur, ok := s.rules[k]; ok && cur.version > version {
+		return fmt.Errorf("dsp: rule set version %d older than stored %d", version, cur.version)
+	}
+	s.rules[k] = ruleEntry{version: version, sealed: append([]byte(nil), sealed...)}
+	return nil
+}
+
+// RuleSet implements Store.
+func (s *MemStore) RuleSet(docID, subject string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.rules[docID+"\x00"+subject]
+	if !ok {
+		return nil, fmt.Errorf("dsp: no rule set for subject %q on document %q", subject, docID)
+	}
+	return e.sealed, nil
+}
+
+// ListDocuments implements Store.
+func (s *MemStore) ListDocuments() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.docs))
+	for id := range s.docs {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Tamper flips a byte of a stored block: the adversarial store used by
+// integrity tests. It returns an error if the target does not exist.
+func (s *MemStore) Tamper(docID string, blockIdx, byteIdx int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.docs[docID]
+	if !ok {
+		return fmt.Errorf("dsp: unknown document %q", docID)
+	}
+	if blockIdx < 0 || blockIdx >= len(c.Blocks) {
+		return fmt.Errorf("dsp: block %d out of range", blockIdx)
+	}
+	b := append([]byte(nil), c.Blocks[blockIdx]...)
+	if byteIdx < 0 || byteIdx >= len(b) {
+		return fmt.Errorf("dsp: byte %d out of range", byteIdx)
+	}
+	b[byteIdx] ^= 0xFF
+	c.Blocks[blockIdx] = b
+	return nil
+}
+
+// SwapBlocks exchanges two stored blocks (substitution attack).
+func (s *MemStore) SwapBlocks(docID string, i, j int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.docs[docID]
+	if !ok {
+		return fmt.Errorf("dsp: unknown document %q", docID)
+	}
+	if i < 0 || j < 0 || i >= len(c.Blocks) || j >= len(c.Blocks) {
+		return fmt.Errorf("dsp: block index out of range")
+	}
+	c.Blocks[i], c.Blocks[j] = c.Blocks[j], c.Blocks[i]
+	return nil
+}
+
+var _ Store = (*MemStore)(nil)

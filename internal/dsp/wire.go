@@ -1,0 +1,117 @@
+package dsp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire protocol: each message is a uint32 big-endian length followed by
+// the payload. Requests start with an op byte; responses start with a
+// status byte (statusOK/statusErr) followed by the body or an error
+// string.
+const (
+	opPutDocument = 1
+	opHeader      = 2
+	opReadBlock   = 3
+	opPutRuleSet  = 4
+	opRuleSet     = 5
+	opList        = 6
+)
+
+const (
+	statusOK  = 0
+	statusErr = 1
+)
+
+// maxFrame bounds a single message (64 MiB: far above any container this
+// system produces, low enough to stop hostile length prefixes).
+const maxFrame = 64 << 20
+
+// writeFrame sends one length-prefixed message.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > maxFrame {
+		return fmt.Errorf("dsp: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one length-prefixed message.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("dsp: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// wire string/varint helpers.
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+type wireReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *wireReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.err = fmt.Errorf("dsp: truncated varint at offset %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *wireReader) string() string {
+	return string(r.bytes())
+}
+
+func (r *wireReader) bytes() []byte {
+	l := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+int(l) > len(r.data) {
+		r.err = fmt.Errorf("dsp: truncated field at offset %d", r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(l)]
+	r.pos += int(l)
+	return b
+}
+
+func (r *wireReader) rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	b := r.data[r.pos:]
+	r.pos = len(r.data)
+	return b
+}

@@ -1,0 +1,127 @@
+package pki
+
+import (
+	"testing"
+
+	"repro/internal/secure"
+)
+
+func TestWrapUnwrap(t *testing.T) {
+	a := NewSeededAuthority("t1")
+	alice, err := a.Register("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := a.Register("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := secure.KeyFromSeed("doc-key")
+	w, err := a.Wrap(alice, "bob", "doc1", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Unwrap(bob, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != key {
+		t.Fatal("unwrapped key differs")
+	}
+}
+
+func TestUnwrapWrongRecipient(t *testing.T) {
+	a := NewSeededAuthority("t2")
+	alice, _ := a.Register("alice")
+	_, _ = a.Register("bob")
+	carol, _ := a.Register("carol")
+	w, err := a.Wrap(alice, "bob", "doc1", secure.KeyFromSeed("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Unwrap(carol, w); err == nil {
+		t.Error("carol unwrapped bob's key")
+	}
+	// Even lying about the recipient field must fail (the KEK binds the
+	// true key pair).
+	w.Recipient = "carol"
+	if _, err := a.Unwrap(carol, w); err == nil {
+		t.Error("renamed wrap unwrapped by the wrong key pair")
+	}
+}
+
+func TestWrapBindsDocument(t *testing.T) {
+	a := NewSeededAuthority("t3")
+	alice, _ := a.Register("alice")
+	bob, _ := a.Register("bob")
+	w, _ := a.Wrap(alice, "bob", "doc1", secure.KeyFromSeed("k"))
+	w.DocID = "doc2"
+	if _, err := a.Unwrap(bob, w); err == nil {
+		t.Error("wrap replayed for another document")
+	}
+}
+
+func TestWrapTamperDetected(t *testing.T) {
+	a := NewSeededAuthority("t4")
+	alice, _ := a.Register("alice")
+	bob, _ := a.Register("bob")
+	w, _ := a.Wrap(alice, "bob", "doc1", secure.DocKey{})
+	w.Sealed[3] ^= 0xFF
+	if _, err := a.Unwrap(bob, w); err == nil {
+		t.Error("tampered wrap accepted")
+	}
+}
+
+func TestRegisterIdempotent(t *testing.T) {
+	a := NewSeededAuthority("t5")
+	p1, _ := a.Register("alice")
+	p2, _ := a.Register("alice")
+	if p1 != p2 {
+		t.Error("re-registering must return the same principal")
+	}
+	if _, err := a.Register(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := a.Lookup("nobody"); err == nil {
+		t.Error("unknown lookup succeeded")
+	}
+}
+
+func TestSeededDeterminism(t *testing.T) {
+	a1 := NewSeededAuthority("same")
+	a2 := NewSeededAuthority("same")
+	p1, _ := a1.Register("alice")
+	p2, _ := a2.Register("alice")
+	if string(p1.Public()) != string(p2.Public()) {
+		t.Error("same seed must derive the same keys")
+	}
+	a3 := NewSeededAuthority("different")
+	p3, _ := a3.Register("alice")
+	if string(p1.Public()) == string(p3.Public()) {
+		t.Error("different seeds must derive different keys")
+	}
+}
+
+func TestRandomAuthority(t *testing.T) {
+	a := NewAuthority()
+	alice, err := a.Register("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := a.Register("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := secure.NewDocKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := a.Wrap(bob, "alice", "d", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Unwrap(alice, w)
+	if err != nil || got != key {
+		t.Fatalf("random-key round trip failed: %v", err)
+	}
+}

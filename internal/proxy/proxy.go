@@ -1,0 +1,279 @@
+// Package proxy implements the terminal side of the architecture: the
+// component that "allows the applications to communicate easily with the
+// different elements of the architecture through an XML API independent
+// of the underlying protocols" (Section 3).
+//
+// The Terminal orchestrates a pull session end to end: it fetches the
+// container header and the blocks the card asks for from the DSP, feeds
+// them to the SOE session, decodes the output records, buffers pending
+// parts until the card resolves them, and reassembles the authorized
+// result in document order. The Publisher is the administrative
+// counterpart: it encodes and uploads documents and sealed rule sets.
+package proxy
+
+import (
+	"fmt"
+
+	"repro/internal/accessrule"
+	"repro/internal/card"
+	"repro/internal/core"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/secure"
+	"repro/internal/soe"
+	"repro/internal/tagdict"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// Terminal drives queries for one card against one store.
+type Terminal struct {
+	Store dsp.Store
+	Card  *card.Card
+	// Options passes through to the SOE session (ablation switches).
+	Options soe.Options
+}
+
+// ResultStats describes the cost of one query.
+type ResultStats struct {
+	// BlocksFetched / BlocksTotal: the skip index's transfer saving.
+	BlocksFetched int
+	BlocksTotal   int
+	// BytesFetched counts stored bytes pulled from the DSP.
+	BytesFetched int64
+	// Session carries the SOE-side counters (RAM peak, evaluator work).
+	Session soe.Stats
+	// Meter is the card work performed by this query (delta).
+	Meter card.Meter
+	// Time prices the meter under the card's profile.
+	Time card.TimeBreakdown
+	// PendingEvents / PendingBytes measure the terminal-side buffering
+	// caused by pending rules (delivered only after resolution).
+	PendingEvents int
+	PendingBytes  int64
+}
+
+// Result is the outcome of a pull query.
+type Result struct {
+	// Tree is the authorized result (nil when nothing is visible).
+	Tree *xmlstream.Node
+	// Stats describes the query's cost.
+	Stats ResultStats
+}
+
+// XML renders the result tree (indented), or "" when empty.
+func (r *Result) XML() string {
+	if r.Tree == nil {
+		return ""
+	}
+	s, err := xmlstream.Serialize(r.Tree.Events(), xmlstream.WriterOptions{Indent: "  "})
+	if err != nil {
+		return fmt.Sprintf("<!-- unserializable result: %v -->", err)
+	}
+	return s
+}
+
+// Query runs a pull request: fetch, decrypt-on-card, filter, reassemble.
+// query is an XP{[],*,//} expression, or "" for the full authorized view.
+func (t *Terminal) Query(subject, docID, query string) (*Result, error) {
+	var q *xpath.Path
+	if query != "" {
+		var err error
+		q, err = xpath.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	meterBefore := t.Card.Meter
+
+	sess, err := soe.NewSession(t.Card, docID, subject, q, t.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Abort()
+
+	header, err := t.Store.Header(docID)
+	if err != nil {
+		return nil, err
+	}
+	hdrBytes, err := header.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.LoadHeader(hdrBytes); err != nil {
+		return nil, err
+	}
+
+	col := NewCollector()
+	stats := ResultStats{BlocksTotal: header.NumBlocks()}
+	for {
+		idx := sess.NeedBlock()
+		if idx < 0 {
+			break
+		}
+		blk, err := t.Store.ReadBlock(docID, idx)
+		if err != nil {
+			return nil, err
+		}
+		stats.BlocksFetched++
+		stats.BytesFetched += int64(len(blk))
+		out, err := sess.Feed(idx, blk)
+		if err != nil {
+			return nil, err
+		}
+		if err := soe.DecodeRecords(out, col); err != nil {
+			return nil, err
+		}
+	}
+	if !sess.Done() {
+		return nil, fmt.Errorf("proxy: stream ended but session is not done")
+	}
+	tree, err := col.Result()
+	if err != nil {
+		return nil, err
+	}
+
+	stats.Session = sess.Stats()
+	stats.Meter = meterDelta(meterBefore, t.Card.Meter)
+	stats.Time = stats.Meter.Price(t.Card.Profile)
+	stats.PendingEvents, stats.PendingBytes = col.PendingLoad()
+	return &Result{Tree: tree, Stats: stats}, nil
+}
+
+// InstallRules pulls the subject's sealed rule set from the store and
+// installs it on the card (the "access rights update protocol" of the
+// demonstration: rights refresh without touching the document).
+func (t *Terminal) InstallRules(subject, docID string) error {
+	sealed, err := t.Store.RuleSet(docID, subject)
+	if err != nil {
+		return err
+	}
+	return t.Card.PutSealedRuleSet(docID, subject, sealed)
+}
+
+// meterDelta subtracts meters field-wise.
+func meterDelta(before, after card.Meter) card.Meter {
+	return card.Meter{
+		BytesToCard:   after.BytesToCard - before.BytesToCard,
+		BytesFromCard: after.BytesFromCard - before.BytesFromCard,
+		APDUs:         after.APDUs - before.APDUs,
+		CryptoBytes:   after.CryptoBytes - before.CryptoBytes,
+		MACBytes:      after.MACBytes - before.MACBytes,
+		Events:        after.Events - before.Events,
+		Transitions:   after.Transitions - before.Transitions,
+		CopyBytes:     after.CopyBytes - before.CopyBytes,
+		EEPROMBytes:   after.EEPROMBytes - before.EEPROMBytes,
+	}
+}
+
+// Publisher is the document-owner side: it encodes documents and seals
+// rule sets for the DSP.
+type Publisher struct {
+	Store dsp.Store
+}
+
+// PublishDocument encodes and uploads a document.
+func (p *Publisher) PublishDocument(root *xmlstream.Node, opts docenc.EncodeOptions) (*docenc.EncodeInfo, error) {
+	container, info, err := docenc.Encode(root, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store.PutDocument(container); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// GrantRules seals a rule set under the document key and uploads it. The
+// rule set's DocID must match; its version should increase on every
+// change (the card refuses rollbacks).
+func (p *Publisher) GrantRules(key secure.DocKey, rs *accessrule.RuleSet) error {
+	if err := rs.Validate(); err != nil {
+		return err
+	}
+	if rs.DocID == "" {
+		return fmt.Errorf("proxy: rule set must name its document")
+	}
+	plain, err := rs.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	sealed, err := secure.EncryptBlob(key, card.RuleBlobNamespace(rs.DocID, rs.Subject), 0, plain)
+	if err != nil {
+		return err
+	}
+	return p.Store.PutRuleSet(rs.DocID, rs.Subject, rs.Version, sealed)
+}
+
+// Collector is the terminal-side record sink: it grows a name table from
+// the card's lazy bindings and feeds the document-order assembler.
+type Collector struct {
+	names map[tagdict.Code]string
+	asm   *core.Assembler
+	done  bool
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	c := &Collector{names: make(map[tagdict.Code]string)}
+	c.asm = core.NewAssembler(c)
+	return c
+}
+
+// Name implements core.NameResolver over the learned bindings.
+func (c *Collector) Name(code tagdict.Code) string {
+	if n, ok := c.names[code]; ok {
+		return n
+	}
+	// Unreachable when the card keeps its binding contract; keep the
+	// output well-formed regardless.
+	return fmt.Sprintf("tag-%d", code)
+}
+
+// Bind implements soe.RecordSink.
+func (c *Collector) Bind(code tagdict.Code, name string) error {
+	c.names[code] = name
+	return nil
+}
+
+// Open implements soe.RecordSink.
+func (c *Collector) Open(code tagdict.Code, mode core.Mode, group core.GroupID) error {
+	return c.asm.EmitOpen(code, mode, group)
+}
+
+// Value implements soe.RecordSink.
+func (c *Collector) Value(text string, mode core.Mode, group core.GroupID) error {
+	return c.asm.EmitValue(text, mode, group)
+}
+
+// Close implements soe.RecordSink.
+func (c *Collector) Close(mode core.Mode, group core.GroupID) error {
+	return c.asm.EmitClose(mode, group)
+}
+
+// Resolve implements soe.RecordSink.
+func (c *Collector) Resolve(group core.GroupID, deliver bool) error {
+	return c.asm.ResolveGroup(group, deliver)
+}
+
+// Done implements soe.RecordSink.
+func (c *Collector) Done() error {
+	c.done = true
+	return nil
+}
+
+// PendingLoad reports the terminal-side pending-buffer load (events and
+// text bytes that awaited group resolution).
+func (c *Collector) PendingLoad() (int, int64) {
+	return c.asm.PendingLoad()
+}
+
+// Result finalizes the assembly; it fails if the card never signalled
+// completion.
+func (c *Collector) Result() (*xmlstream.Node, error) {
+	if !c.done {
+		return nil, fmt.Errorf("proxy: card session ended without a done record")
+	}
+	return c.asm.Result()
+}

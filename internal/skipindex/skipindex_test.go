@@ -1,0 +1,167 @@
+package skipindex
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tagdict"
+)
+
+func setOf(n int, members ...int) Set {
+	s := NewSet(n)
+	for _, m := range members {
+		s.Add(tagdict.Code(m))
+	}
+	return s
+}
+
+func TestSetBasics(t *testing.T) {
+	s := setOf(100, 0, 7, 63, 64, 99)
+	for _, m := range []int{0, 7, 63, 64, 99} {
+		if !s.Has(tagdict.Code(m)) {
+			t.Errorf("missing member %d", m)
+		}
+	}
+	if s.Has(1) || s.Has(98) {
+		t.Error("phantom members")
+	}
+	if s.Has(tagdict.NoCode) {
+		t.Error("NoCode must never be a member")
+	}
+	if s.Count() != 5 {
+		t.Errorf("Count = %d, want 5", s.Count())
+	}
+	if s.Empty() {
+		t.Error("set is not empty")
+	}
+	if !NewSet(10).Empty() {
+		t.Error("fresh set must be empty")
+	}
+}
+
+func TestSubsetAndUnion(t *testing.T) {
+	a := setOf(70, 1, 2, 65)
+	b := setOf(70, 1, 2, 3, 65)
+	if !a.SubsetOf(b) {
+		t.Error("a ⊆ b expected")
+	}
+	if b.SubsetOf(a) {
+		t.Error("b ⊄ a expected")
+	}
+	c := a.Clone()
+	c.UnionWith(setOf(70, 3))
+	if !c.Equal(b) {
+		t.Errorf("union mismatch: %v vs %v", c, b)
+	}
+	if !a.Equal(setOf(70, 1, 2, 65)) {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestRootCodec(t *testing.T) {
+	s := setOf(19, 0, 8, 18)
+	enc := EncodeRoot(s)
+	if len(enc) != 3 {
+		t.Fatalf("root bitmap of 19 codes must be 3 bytes, got %d", len(enc))
+	}
+	back, n, err := DecodeRoot(enc, 19)
+	if err != nil || n != 3 {
+		t.Fatalf("decode: %v (n=%d)", err, n)
+	}
+	if !back.Equal(s) {
+		t.Fatalf("round trip changed set: %v -> %v", s, back)
+	}
+	if _, _, err := DecodeRoot(enc[:2], 19); err == nil {
+		t.Error("truncated root bitmap must fail")
+	}
+}
+
+func TestRelativeCodec(t *testing.T) {
+	parent := setOf(40, 2, 5, 9, 30, 39)
+	child := setOf(40, 5, 30)
+	enc := EncodeRel(child, parent)
+	if len(enc) != 1 {
+		t.Fatalf("5 parent members must compress to 1 byte, got %d", len(enc))
+	}
+	back, n, err := DecodeRel(enc, parent)
+	if err != nil || n != 1 {
+		t.Fatalf("decode: %v", err)
+	}
+	if !back.Equal(child) {
+		t.Fatalf("round trip changed set: %v -> %v", child, back)
+	}
+}
+
+func TestRelativeRejectsNonSubset(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("encoding a non-subset must panic (encoder bug)")
+		}
+	}()
+	EncodeRel(setOf(10, 1), setOf(10, 2))
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	parent := setOf(64, 1, 2, 3, 10, 20, 63)
+	meta := NodeMeta{Tags: setOf(64, 2, 20), ContentSize: 123456}
+	enc := AppendMeta(nil, meta, parent)
+	if len(enc) != MetaSize(meta, parent) {
+		t.Errorf("MetaSize = %d, encoded %d", MetaSize(meta, parent), len(enc))
+	}
+	back, n, err := DecodeMeta(enc, parent)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: %v", err)
+	}
+	if !back.Tags.Equal(meta.Tags) || back.ContentSize != meta.ContentSize {
+		t.Fatalf("round trip changed meta: %+v -> %+v", meta, back)
+	}
+	if _, _, err := DecodeMeta(enc[:len(enc)-1], parent); err == nil {
+		t.Error("truncated meta must fail")
+	}
+}
+
+// TestQuickRelativeRoundTrip: random child ⊆ parent survives the
+// recursive compression.
+func TestQuickRelativeRoundTrip(t *testing.T) {
+	f := func(seed int64, universe uint8) bool {
+		n := int(universe)%200 + 1
+		rng := rand.New(rand.NewSource(seed))
+		parent := NewSet(n)
+		child := NewSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.4 {
+				parent.Add(tagdict.Code(i))
+				if rng.Float64() < 0.5 {
+					child.Add(tagdict.Code(i))
+				}
+			}
+		}
+		enc := EncodeRel(child, parent)
+		if len(enc) != RelSize(parent) {
+			return false
+		}
+		back, _, err := DecodeRel(enc, parent)
+		return err == nil && back.Equal(child)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemBytesPacked(t *testing.T) {
+	if got := NewSet(9).MemBytes(); got != 2 {
+		t.Errorf("9-bit set must charge 2 bytes, got %d", got)
+	}
+	if got := NewSet(64).MemBytes(); got != 8 {
+		t.Errorf("64-bit set must charge 8 bytes, got %d", got)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	s := setOf(30, 20, 3, 11)
+	m := s.Members()
+	if len(m) != 3 || m[0] != 3 || m[1] != 11 || m[2] != 20 {
+		t.Errorf("Members = %v", m)
+	}
+}

@@ -1,0 +1,235 @@
+package soe
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tagdict"
+)
+
+// Output record opcodes: the compact card-to-terminal protocol carrying
+// the evaluator's output. Closes carry no tag (the terminal tracks the
+// stack), and tag names cross the link once, the first time a code is
+// delivered — so the terminal learns only the names of tags that actually
+// appear in the (candidate) result, not the whole dictionary.
+const (
+	recBind    = 0x01 // varint code, varint len, name bytes
+	recOpen    = 0x02 // varint code, mode byte, varint group
+	recValue   = 0x03 // mode byte, varint group, varint len, text bytes
+	recClose   = 0x04 // mode byte, varint group
+	recResolve = 0x05 // varint group, deliver byte
+	recDone    = 0x06
+)
+
+// recordWriter accumulates encoded records between Feed calls.
+type recordWriter struct {
+	buf []byte
+}
+
+func (w *recordWriter) take() []byte {
+	out := w.buf
+	w.buf = nil
+	return out
+}
+
+func (w *recordWriter) done() {
+	w.buf = append(w.buf, recDone)
+}
+
+// recordEmitter adapts the evaluator's Emitter interface onto the record
+// protocol, inserting lazy name bindings.
+type recordEmitter struct {
+	w         *recordWriter
+	dict      *tagdict.Dict
+	announced []bool
+}
+
+// EmitOpen implements core.Emitter.
+func (e *recordEmitter) EmitOpen(code tagdict.Code, mode core.Mode, group core.GroupID) error {
+	if int(code) < len(e.announced) && !e.announced[code] {
+		e.announced[code] = true
+		name := e.dict.Name(code)
+		e.w.buf = append(e.w.buf, recBind)
+		e.w.buf = binary.AppendUvarint(e.w.buf, uint64(code))
+		e.w.buf = binary.AppendUvarint(e.w.buf, uint64(len(name)))
+		e.w.buf = append(e.w.buf, name...)
+	}
+	e.w.buf = append(e.w.buf, recOpen)
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(code))
+	e.w.buf = append(e.w.buf, byte(mode))
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(group))
+	return nil
+}
+
+// EmitValue implements core.Emitter.
+func (e *recordEmitter) EmitValue(text string, mode core.Mode, group core.GroupID) error {
+	e.w.buf = append(e.w.buf, recValue)
+	e.w.buf = append(e.w.buf, byte(mode))
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(group))
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(len(text)))
+	e.w.buf = append(e.w.buf, text...)
+	return nil
+}
+
+// EmitClose implements core.Emitter.
+func (e *recordEmitter) EmitClose(mode core.Mode, group core.GroupID) error {
+	e.w.buf = append(e.w.buf, recClose)
+	e.w.buf = append(e.w.buf, byte(mode))
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(group))
+	return nil
+}
+
+// ResolveGroup implements core.Emitter.
+func (e *recordEmitter) ResolveGroup(group core.GroupID, deliver bool) error {
+	e.w.buf = append(e.w.buf, recResolve)
+	e.w.buf = binary.AppendUvarint(e.w.buf, uint64(group))
+	d := byte(0)
+	if deliver {
+		d = 1
+	}
+	e.w.buf = append(e.w.buf, d)
+	return nil
+}
+
+// RecordSink receives decoded records on the terminal side.
+type RecordSink interface {
+	Bind(code tagdict.Code, name string) error
+	Open(code tagdict.Code, mode core.Mode, group core.GroupID) error
+	Value(text string, mode core.Mode, group core.GroupID) error
+	Close(mode core.Mode, group core.GroupID) error
+	Resolve(group core.GroupID, deliver bool) error
+	Done() error
+}
+
+// errTruncated marks a record cut short at the end of a chunk: the caller
+// must retry once more bytes arrive.
+var errTruncated = fmt.Errorf("soe: truncated record")
+
+// DecodeRecords parses a record stream chunk that contains only whole
+// records (as Session.Feed outputs always do), invoking the sink per
+// record.
+func DecodeRecords(data []byte, sink RecordSink) error {
+	n, err := DecodeRecordsPartial(data, sink)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("soe: %d trailing bytes form an incomplete record", len(data)-n)
+	}
+	return nil
+}
+
+// DecodeRecordsPartial decodes as many complete records as data holds and
+// returns the bytes consumed; a record cut short at the end is left for
+// the caller to complete (APDU chunking splits records arbitrarily).
+func DecodeRecordsPartial(data []byte, sink RecordSink) (int, error) {
+	pos := 0
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n == 0 {
+			return 0, errTruncated
+		}
+		if n < 0 {
+			return 0, fmt.Errorf("soe: malformed varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	readByte := func() (byte, error) {
+		if pos >= len(data) {
+			return 0, errTruncated
+		}
+		b := data[pos]
+		pos++
+		return b, nil
+	}
+	consumed := 0
+	for pos < len(data) {
+		op, _ := readByte()
+		err := func() error {
+			switch op {
+			case recBind:
+				code, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				l, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				if pos+int(l) > len(data) {
+					return errTruncated
+				}
+				name := string(data[pos : pos+int(l)])
+				pos += int(l)
+				return sink.Bind(tagdict.Code(code), name)
+			case recOpen:
+				code, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				mode, err := readByte()
+				if err != nil {
+					return err
+				}
+				group, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				return sink.Open(tagdict.Code(code), core.Mode(mode), core.GroupID(group))
+			case recValue:
+				mode, err := readByte()
+				if err != nil {
+					return err
+				}
+				group, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				l, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				if pos+int(l) > len(data) {
+					return errTruncated
+				}
+				text := string(data[pos : pos+int(l)])
+				pos += int(l)
+				return sink.Value(text, core.Mode(mode), core.GroupID(group))
+			case recClose:
+				mode, err := readByte()
+				if err != nil {
+					return err
+				}
+				group, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				return sink.Close(core.Mode(mode), core.GroupID(group))
+			case recResolve:
+				group, err := readUvarint()
+				if err != nil {
+					return err
+				}
+				d, err := readByte()
+				if err != nil {
+					return err
+				}
+				return sink.Resolve(core.GroupID(group), d != 0)
+			case recDone:
+				return sink.Done()
+			default:
+				return fmt.Errorf("soe: unknown record opcode %#x at offset %d", op, pos-1)
+			}
+		}()
+		if err == errTruncated {
+			return consumed, nil
+		}
+		if err != nil {
+			return consumed, err
+		}
+		consumed = pos
+	}
+	return consumed, nil
+}

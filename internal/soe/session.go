@@ -1,0 +1,448 @@
+// Package soe implements the applet running inside the Secure Operating
+// Environment: the session state machine that, per Section 2.1, "is in
+// charge of decrypting the input document, checking its integrity and
+// evaluating the access control policy corresponding to a given
+// (document, subject) pair" — plus the optional query of pull mode.
+//
+// A Session is driven by the terminal proxy: the proxy pushes encrypted
+// blocks one at a time (Feed) and reads back (a) a stream of compact
+// output records carrying the authorized events, and (b) the index of the
+// next block the card wants — which jumps forward whenever the evaluator
+// skips a subtree, turning skip decisions into bytes that are neither
+// transmitted nor decrypted.
+//
+// Everything the session allocates is charged to the card's secure RAM
+// gauge; exhausting the budget aborts the session exactly as a real
+// applet would fail allocation.
+package soe
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/card"
+	"repro/internal/core"
+	"repro/internal/docenc"
+	"repro/internal/mem"
+	"repro/internal/secure"
+	"repro/internal/tagdict"
+	"repro/internal/xpath"
+)
+
+// errNeedMore signals that the decoder ran out of buffered plaintext
+// mid-item; the session rolls back to the item start and asks the
+// terminal for the next block.
+var errNeedMore = errors.New("soe: need more input")
+
+// Options tunes a session.
+type Options struct {
+	// DisableSkip ignores the skip index (ablation).
+	DisableSkip bool
+	// DisableCopy disables the copy-through fast path (ablation).
+	DisableCopy bool
+	// MaxValue bounds a single text node (default: 8 plaintext blocks).
+	MaxValue int
+}
+
+// sessionPhase is the applet state machine.
+type sessionPhase uint8
+
+const (
+	phaseHeader sessionPhase = iota // waiting for LoadHeader
+	phaseDict                       // accumulating the dictionary
+	phaseStream                     // evaluating the structure stream
+	phaseDone
+	phaseAborted
+)
+
+// Session is one (document, subject[, query]) evaluation.
+type Session struct {
+	card *card.Card
+	opts Options
+
+	docID   string
+	subject string
+	query   *xpath.Path
+
+	key    secure.DocKey
+	header docenc.Header
+
+	ram        *mem.Scope
+	dict       *tagdict.Dict
+	dictEEPROM int // session-scoped stable storage, reclaimed at end
+	dec        *docenc.Decoder
+	eval       *core.Evaluator
+	src        *blockSource
+	out        *recordWriter
+
+	phase     sessionPhase
+	lastStats core.Stats
+
+	// value accumulates a streamed value when the evaluator cannot accept
+	// chunks (an unresolved comparison targets the current node's text).
+	value struct {
+		active    bool
+		chunkable bool
+		buf       []byte
+		charged   int
+	}
+}
+
+// NewSession opens a session on a provisioned card. The key and the
+// subject's rule set must already be installed (see card.PutKey and
+// card.PutSealedRuleSet).
+func NewSession(c *card.Card, docID, subject string, query *xpath.Path, opts Options) (*Session, error) {
+	if _, err := c.Key(docID); err != nil {
+		return nil, err
+	}
+	if _, err := c.RuleSet(subject, docID); err != nil {
+		return nil, err
+	}
+	return &Session{
+		card:    c,
+		opts:    opts,
+		docID:   docID,
+		subject: subject,
+		query:   query,
+		ram:     mem.NewScope(c.RAM),
+		phase:   phaseHeader,
+	}, nil
+}
+
+// LoadHeader installs and authenticates the container header.
+func (s *Session) LoadHeader(hdrBytes []byte) error {
+	if s.phase != phaseHeader {
+		return fmt.Errorf("soe: header already loaded")
+	}
+	s.card.Meter.BytesToCard += int64(len(hdrBytes))
+	s.card.Meter.APDUs++
+	h, _, err := docenc.UnmarshalHeader(hdrBytes)
+	if err != nil {
+		return s.abort(err)
+	}
+	key, err := s.card.Key(h.DocID)
+	if err != nil {
+		return s.abort(err)
+	}
+	if err := h.Verify(key); err != nil {
+		return s.abort(fmt.Errorf("soe: header authentication: %w", err))
+	}
+	if h.DocID != s.docID {
+		return s.abort(fmt.Errorf("soe: header is for document %q, session is for %q", h.DocID, s.docID))
+	}
+	s.key = key
+	s.header = h
+	if s.opts.MaxValue <= 0 {
+		s.opts.MaxValue = 8 * int(h.BlockPlain)
+	}
+	s.src = newBlockSource(&s.header, s.ram)
+	s.out = &recordWriter{}
+	s.phase = phaseDict
+	return nil
+}
+
+// NeedBlock reports the next block index the card wants, or -1 when the
+// session is finished (or aborted).
+func (s *Session) NeedBlock() int {
+	switch s.phase {
+	case phaseDict, phaseStream:
+		want := s.src.wantOffset()
+		if uint64(want) >= s.header.PayloadLen {
+			return -1
+		}
+		return want / int(s.header.BlockPlain)
+	default:
+		return -1
+	}
+}
+
+// Done reports whether the session completed successfully.
+func (s *Session) Done() bool { return s.phase == phaseDone }
+
+// Feed pushes one stored block into the card and returns the output
+// records produced. The block must be the one NeedBlock asked for.
+func (s *Session) Feed(blockIdx int, stored []byte) ([]byte, error) {
+	if s.phase != phaseDict && s.phase != phaseStream {
+		return nil, fmt.Errorf("soe: session not accepting blocks (phase %d)", s.phase)
+	}
+	if want := s.NeedBlock(); blockIdx != want {
+		return nil, fmt.Errorf("soe: fed block %d, card wants %d", blockIdx, want)
+	}
+
+	// Link accounting: the block crosses the terminal->card link in
+	// MaxAPDUData-sized chunks.
+	s.card.Meter.BytesToCard += int64(len(stored))
+	s.card.Meter.APDUs += int64(apduCount(len(stored), s.card.Profile.MaxAPDUData))
+
+	plain, err := secure.DecryptBlock(s.key, s.header.DocID, s.header.Version, uint32(blockIdx), stored)
+	if err != nil {
+		return nil, s.abort(err)
+	}
+	s.card.Meter.CryptoBytes += int64(len(plain))
+	s.card.Meter.MACBytes += int64(len(plain))
+
+	// Validate geometry: every block but the last is exactly BlockPlain.
+	expect := int(s.header.BlockPlain)
+	if blockIdx == s.header.NumBlocks()-1 {
+		expect = int(s.header.PayloadLen) - blockIdx*int(s.header.BlockPlain)
+	}
+	if len(plain) != expect {
+		return nil, s.abort(fmt.Errorf("%w: block %d has %d plaintext bytes, geometry says %d",
+			secure.ErrIntegrity, blockIdx, len(plain), expect))
+	}
+
+	if err := s.src.feed(blockIdx, plain); err != nil {
+		return nil, s.abort(err)
+	}
+
+	if s.phase == phaseDict {
+		if err := s.tryFinishDict(); err != nil {
+			if errors.Is(err, errNeedMore) {
+				return s.drainOut(), nil
+			}
+			return nil, s.abort(err)
+		}
+	}
+	if s.phase == phaseStream {
+		if err := s.pump(); err != nil {
+			if errors.Is(err, errNeedMore) {
+				return s.drainOut(), nil
+			}
+			return nil, s.abort(err)
+		}
+	}
+	return s.drainOut(), nil
+}
+
+// tryFinishDict attempts to parse the tag dictionary from the buffered
+// payload prefix and, on success, builds the decoder and the evaluator.
+func (s *Session) tryFinishDict() error {
+	window := s.src.window()
+	dict, n, err := tagdict.UnmarshalBinary(window)
+	if err != nil {
+		if s.src.windowEnd() < int(s.header.PayloadLen) {
+			return errNeedMore // likely truncated: wait for more payload
+		}
+		return fmt.Errorf("soe: dictionary: %w", err)
+	}
+	// The dictionary moves to secure stable storage for the session
+	// (lazy name bindings are resolved from there, not from RAM); the
+	// space is reclaimed when the session ends.
+	dictBytes := dict.ByteSize()
+	if err := s.card.EEPROM.Alloc(dictBytes); err != nil {
+		return fmt.Errorf("soe: dictionary store: %w", err)
+	}
+	s.dictEEPROM = dictBytes
+	s.card.Meter.EEPROMBytes += int64(dictBytes)
+	s.dict = dict
+	if err := s.src.consume(n); err != nil {
+		return err
+	}
+
+	rules, err := s.card.RuleSet(s.subject, s.docID)
+	if err != nil {
+		return err
+	}
+	emit := &recordEmitter{w: s.out, dict: dict, announced: make([]bool, dict.Len())}
+	eval, err := core.NewEvaluator(core.Config{
+		Rules:       rules,
+		Query:       s.query,
+		Dict:        dict,
+		Emitter:     emit,
+		Gauge:       s.ram,
+		DisableSkip: s.opts.DisableSkip,
+		DisableCopy: s.opts.DisableCopy,
+	})
+	if err != nil {
+		return err
+	}
+	s.eval = eval
+	s.dec = docenc.NewDecoder(s.src, dict, s.opts.MaxValue)
+	s.phase = phaseStream
+	return nil
+}
+
+// pump decodes and evaluates items until the buffered input runs dry or
+// the document ends.
+func (s *Session) pump() error {
+	defer s.syncMeter()
+	for {
+		s.src.mark()
+		it, err := s.dec.Next()
+		if err != nil {
+			if errors.Is(err, errNeedMore) {
+				s.src.rollback()
+				return errNeedMore
+			}
+			return err
+		}
+		switch it.Kind {
+		case docenc.ItemOpen:
+			skip, err := s.eval.Open(it.Code, it.Meta)
+			if err != nil {
+				return err
+			}
+			if skip > 0 {
+				if err := s.dec.SkipContent(it.Meta); err != nil {
+					return err
+				}
+			}
+		case docenc.ItemValue:
+			if err := s.eval.Value(it.Text); err != nil {
+				return err
+			}
+		case docenc.ItemValueStart:
+			// Value skipping: a structural node's text with no pending
+			// comparison is never needed — jump the bytes, which skips
+			// their transfer and decryption entirely.
+			if !s.opts.DisableSkip && !s.eval.NeedsValues() {
+				if err := s.dec.SkipValue(); err != nil {
+					return err
+				}
+				s.eval.SkipValue(it.Size)
+				if err := s.src.compact(); err != nil {
+					return err
+				}
+				continue
+			}
+			s.value.active = true
+			s.value.chunkable = s.eval.CanChunkValues()
+			s.value.buf = s.value.buf[:0]
+			if !s.value.chunkable && it.Size > s.opts.MaxValue {
+				return fmt.Errorf("soe: a %d-byte value under an unresolved comparison exceeds the %d-byte secure buffer",
+					it.Size, s.opts.MaxValue)
+			}
+		case docenc.ItemValueChunk:
+			if !s.value.active {
+				return fmt.Errorf("soe: value chunk without a value start")
+			}
+			if s.value.chunkable {
+				// Pass the piece straight through: bounded memory
+				// regardless of value size.
+				if err := s.eval.Value(it.Text); err != nil {
+					return err
+				}
+			} else {
+				if err := s.ram.Alloc(len(it.Text)); err != nil {
+					return fmt.Errorf("soe: value buffer: %w", err)
+				}
+				s.value.charged += len(it.Text)
+				s.value.buf = append(s.value.buf, it.Text...)
+				if it.Last {
+					err := s.eval.Value(string(s.value.buf))
+					s.ram.Free(s.value.charged)
+					s.value.charged = 0
+					s.value.buf = s.value.buf[:0]
+					if err != nil {
+						return err
+					}
+				}
+			}
+			if it.Last {
+				s.value.active = false
+			}
+		case docenc.ItemClose:
+			if err := s.eval.Close(); err != nil {
+				return err
+			}
+		case docenc.ItemEOF:
+			if err := s.eval.Finish(); err != nil {
+				return err
+			}
+			s.out.done()
+			s.finish()
+			return nil
+		}
+		if err := s.src.compact(); err != nil {
+			return err
+		}
+	}
+}
+
+// drainOut takes the pending output records and accounts for their trip
+// over the link.
+func (s *Session) drainOut() []byte {
+	out := s.out.take()
+	if len(out) > 0 {
+		s.card.Meter.BytesFromCard += int64(len(out))
+		// Responses piggyback on the command APDU; only overflow beyond
+		// one response frame costs extra exchanges.
+		extra := apduCount(len(out), 256) - 1
+		if extra > 0 {
+			s.card.Meter.APDUs += int64(extra)
+		}
+	}
+	return out
+}
+
+// syncMeter folds the evaluator's work counters into the card meter
+// (delta since the previous sync).
+func (s *Session) syncMeter() {
+	if s.eval == nil {
+		return
+	}
+	cur := s.eval.Stats()
+	d := &s.card.Meter
+	d.Events += int64(cur.Opens-s.lastStats.Opens) +
+		int64(cur.Values-s.lastStats.Values) +
+		int64(cur.Closes-s.lastStats.Closes)
+	d.Transitions += int64(cur.TransitionsScanned - s.lastStats.TransitionsScanned)
+	d.CopyBytes += cur.CopiedBytes - s.lastStats.CopiedBytes
+	s.lastStats = cur
+}
+
+// finish releases session memory and closes the state machine.
+func (s *Session) finish() {
+	s.ram.Close()
+	s.releaseEEPROM()
+	s.phase = phaseDone
+}
+
+// releaseEEPROM reclaims the session-scoped stable storage.
+func (s *Session) releaseEEPROM() {
+	if s.dictEEPROM > 0 {
+		s.card.EEPROM.Free(s.dictEEPROM)
+		s.dictEEPROM = 0
+	}
+}
+
+// Abort terminates the session, releasing its memory.
+func (s *Session) Abort() {
+	if s.phase != phaseDone && s.phase != phaseAborted {
+		_ = s.abort(fmt.Errorf("soe: aborted by terminal"))
+	}
+}
+
+func (s *Session) abort(err error) error {
+	s.ram.Close()
+	s.releaseEEPROM()
+	s.phase = phaseAborted
+	return err
+}
+
+// Stats reports the session's evaluation counters and memory high-water
+// marks.
+type Stats struct {
+	Core    core.Stats
+	RAMPeak int
+}
+
+// Stats returns the session statistics collected so far.
+func (s *Session) Stats() Stats {
+	st := Stats{RAMPeak: s.ram.Peak()}
+	if s.eval != nil {
+		st.Core = s.eval.Stats()
+	}
+	return st
+}
+
+// apduCount is the number of MaxData-sized APDUs needed for n bytes.
+func apduCount(n, maxData int) int {
+	if n <= 0 {
+		return 0
+	}
+	if maxData <= 0 {
+		return 1
+	}
+	return (n + maxData - 1) / maxData
+}

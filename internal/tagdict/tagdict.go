@@ -1,0 +1,178 @@
+// Package tagdict implements the tag dictionary the paper uses to
+// compress the structure of XML documents before encryption.
+//
+// "For ensuring compactness, we compress the document structure using a
+// dictionary of tags [XGRIND] and encode the set of tags thanks to a bit
+// array referring to the tag dictionary." (Section 2.3.)
+//
+// Every distinct element or attribute name of a document gets a small
+// integer Code; the encrypted document stream and the skip index are
+// expressed entirely in code space. At session start the SOE translates
+// the node tests of the user's access rules into code space and can then
+// evaluate rules without ever materializing tag strings, which matters on
+// a device with ~1 KB of working memory.
+package tagdict
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Code identifies a tag in a dictionary. Codes are dense: 0..Len()-1.
+type Code uint16
+
+// NoCode is returned for names absent from the dictionary. A rule node
+// test that maps to NoCode can never match anything in the document (the
+// automaton compiler exploits this to prune the rule).
+const NoCode Code = 0xFFFF
+
+// MaxTags is the maximum number of distinct tags per document. The bound
+// keeps bit arrays and the code space small, as the paper's compactness
+// argument requires; real document schemas are far below it.
+const MaxTags = 4096
+
+// Dict maps tag names to codes and back. Codes are assigned in the order
+// names are added; builders add names by decreasing frequency so frequent
+// tags get small codes (shorter varints in the encoded stream).
+type Dict struct {
+	names []string
+	codes map[string]Code
+}
+
+// New returns an empty dictionary.
+func New() *Dict {
+	return &Dict{codes: make(map[string]Code)}
+}
+
+// FromTags builds a dictionary from a name list (order = code order).
+func FromTags(tags []string) (*Dict, error) {
+	d := New()
+	for _, t := range tags {
+		if _, err := d.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// FromCounts builds a dictionary from tag frequencies, assigning small
+// codes to frequent tags (ties broken alphabetically for determinism).
+func FromCounts(counts map[string]int) (*Dict, error) {
+	tags := make([]string, 0, len(counts))
+	for t := range counts {
+		tags = append(tags, t)
+	}
+	sort.Slice(tags, func(i, j int) bool {
+		if counts[tags[i]] != counts[tags[j]] {
+			return counts[tags[i]] > counts[tags[j]]
+		}
+		return tags[i] < tags[j]
+	})
+	return FromTags(tags)
+}
+
+// Add inserts a name and returns its code. Adding an existing name
+// returns the existing code.
+func (d *Dict) Add(name string) (Code, error) {
+	if name == "" {
+		return NoCode, fmt.Errorf("tagdict: empty tag name")
+	}
+	if c, ok := d.codes[name]; ok {
+		return c, nil
+	}
+	if len(d.names) >= MaxTags {
+		return NoCode, fmt.Errorf("tagdict: more than %d distinct tags", MaxTags)
+	}
+	c := Code(len(d.names))
+	d.names = append(d.names, name)
+	d.codes[name] = c
+	return c, nil
+}
+
+// Code returns the code for a name, or NoCode if absent.
+func (d *Dict) Code(name string) Code {
+	if c, ok := d.codes[name]; ok {
+		return c
+	}
+	return NoCode
+}
+
+// Name returns the name for a code. It panics on an out-of-range code,
+// which is always a programming error (codes only originate here).
+func (d *Dict) Name(c Code) string {
+	if int(c) >= len(d.names) {
+		panic(fmt.Sprintf("tagdict: code %d out of range (%d tags)", c, len(d.names)))
+	}
+	return d.names[c]
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int { return len(d.names) }
+
+// Names returns the names in code order. The returned slice is shared;
+// callers must not modify it.
+func (d *Dict) Names() []string { return d.names }
+
+// MarshalBinary encodes the dictionary as
+//
+//	varint(count) { varint(len) bytes }*
+//
+// This is the form embedded (encrypted) at the head of the document
+// container.
+func (d *Dict) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(d.names)))
+	for _, n := range d.names {
+		buf = binary.AppendUvarint(buf, uint64(len(n)))
+		buf = append(buf, n...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes a dictionary produced by MarshalBinary and
+// returns the number of bytes consumed.
+func UnmarshalBinary(data []byte) (*Dict, int, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("tagdict: truncated count")
+	}
+	if count > MaxTags {
+		return nil, 0, fmt.Errorf("tagdict: declared %d tags exceeds maximum %d", count, MaxTags)
+	}
+	pos := n
+	d := New()
+	for i := uint64(0); i < count; i++ {
+		l, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("tagdict: truncated length of tag %d", i)
+		}
+		pos += n
+		if pos+int(l) > len(data) {
+			return nil, 0, fmt.Errorf("tagdict: truncated name of tag %d", i)
+		}
+		if _, err := d.Add(string(data[pos : pos+int(l)])); err != nil {
+			return nil, 0, err
+		}
+		pos += int(l)
+	}
+	return d, pos, nil
+}
+
+// ByteSize estimates the serialized size without serializing.
+func (d *Dict) ByteSize() int {
+	sz := uvarintLen(uint64(len(d.names)))
+	for _, n := range d.names {
+		sz += uvarintLen(uint64(len(n))) + len(n)
+	}
+	return sz
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

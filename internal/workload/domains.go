@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmlstream"
+)
+
+// MedicalConfig parameterizes the medical-folder generator (the paper's
+// motivating healthcare scenario: exchange of medical information with
+// rules that "may suffer exceptions in particular situations (e.g., in
+// case of emergency) and may evolve over time").
+type MedicalConfig struct {
+	Seed     int64
+	Patients int
+	// VisitsPerPatient is the mean number of visits (minimum 1).
+	VisitsPerPatient int
+}
+
+var (
+	diagnoses  = []string{"flu", "fracture", "asthma", "allergy", "migraine", "diabetes", "hypertension"}
+	treatments = []string{"rest", "cast", "inhaler", "antihistamine", "analgesic", "insulin", "diet"}
+	drugs      = []string{"paracetamol", "ibuprofen", "salbutamol", "cetirizine", "metformin", "ramipril"}
+	names      = []string{"Martin", "Bernard", "Dubois", "Thomas", "Robert", "Richard", "Petit", "Durand"}
+	firstNames = []string{"Luc", "Marie", "Jean", "Sophie", "Pierre", "Claire", "Paul", "Anne"}
+)
+
+// MedicalFolder generates a hospital folder document:
+//
+//	folder/patient[@id]/{name, ssn, contact, visit*/{date, diagnosis,
+//	treatment, prescription[@drug]}, emergency/{bloodtype, allergy*}}
+func MedicalFolder(cfg MedicalConfig) *xmlstream.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Patients < 1 {
+		cfg.Patients = 1
+	}
+	if cfg.VisitsPerPatient < 1 {
+		cfg.VisitsPerPatient = 1
+	}
+	folder := &xmlstream.Node{Name: "folder"}
+	for i := 0; i < cfg.Patients; i++ {
+		p := elem("patient",
+			attr("@id", fmt.Sprintf("p%03d", i+1)),
+			textElem("name", firstNames[rng.Intn(len(firstNames))]+" "+names[rng.Intn(len(names))]),
+			textElem("ssn", fmt.Sprintf("%09d", rng.Intn(1_000_000_000))),
+			textElem("contact", fmt.Sprintf("+33 1 %08d", rng.Intn(100_000_000))),
+		)
+		visits := 1 + rng.Intn(cfg.VisitsPerPatient*2-1)
+		for v := 0; v < visits; v++ {
+			visit := elem("visit",
+				textElem("date", fmt.Sprintf("2004-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+				textElem("diagnosis", diagnoses[rng.Intn(len(diagnoses))]),
+				textElem("treatment", treatments[rng.Intn(len(treatments))]),
+				textElem("report", sentence(rng, 20+rng.Intn(20))),
+			)
+			if rng.Float64() < 0.7 {
+				visit.Children = append(visit.Children, elem("prescription",
+					attr("@drug", drugs[rng.Intn(len(drugs))]),
+					textElem("dose", fmt.Sprintf("%dmg", 50*(1+rng.Intn(10)))),
+				))
+			}
+			p.Children = append(p.Children, visit)
+		}
+		emergency := elem("emergency",
+			textElem("bloodtype", []string{"A+", "A-", "B+", "O+", "O-", "AB+"}[rng.Intn(6)]),
+		)
+		for a := rng.Intn(3); a > 0; a-- {
+			emergency.Children = append(emergency.Children,
+				textElem("allergy", drugs[rng.Intn(len(drugs))]))
+		}
+		p.Children = append(p.Children, emergency)
+		folder.Children = append(folder.Children, p)
+	}
+	return folder
+}
+
+// AgendaConfig parameterizes the collaborative-community generator (demo
+// application 1: "collaborative works among a community of users").
+type AgendaConfig struct {
+	Seed    int64
+	Members int
+	// EventsPerMember is the mean number of events (minimum 1).
+	EventsPerMember int
+}
+
+// Agenda generates a shared community agenda:
+//
+//	agenda/member[@user]/{profile/{email, phone}, event*/{date, title,
+//	place, visibility, notes}}
+func Agenda(cfg AgendaConfig) *xmlstream.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Members < 1 {
+		cfg.Members = 1
+	}
+	if cfg.EventsPerMember < 1 {
+		cfg.EventsPerMember = 1
+	}
+	agenda := &xmlstream.Node{Name: "agenda"}
+	visibilities := []string{"public", "friends", "private"}
+	places := []string{"office", "lab", "cafeteria", "room12", "online"}
+	titles := []string{"standup", "review", "dinner", "seminar", "deadline", "travel"}
+	for i := 0; i < cfg.Members; i++ {
+		user := fmt.Sprintf("user%02d", i+1)
+		m := elem("member",
+			attr("@user", user),
+			elem("profile",
+				textElem("email", user+"@example.org"),
+				textElem("phone", fmt.Sprintf("+33 6 %08d", rng.Intn(100_000_000))),
+			),
+		)
+		events := 1 + rng.Intn(cfg.EventsPerMember*2-1)
+		for ev := 0; ev < events; ev++ {
+			m.Children = append(m.Children, elem("event",
+				textElem("date", fmt.Sprintf("2005-%02d-%02d", 1+rng.Intn(12), 1+rng.Intn(28))),
+				textElem("title", titles[rng.Intn(len(titles))]),
+				textElem("place", places[rng.Intn(len(places))]),
+				textElem("visibility", visibilities[rng.Intn(len(visibilities))]),
+				textElem("notes", words[rng.Intn(len(words))]+" "+words[rng.Intn(len(words))]),
+			))
+		}
+		agenda.Children = append(agenda.Children, m)
+	}
+	return agenda
+}
+
+// CatalogConfig parameterizes a product-catalog generator (a generic
+// DSP-hosted shared dataset).
+type CatalogConfig struct {
+	Seed       int64
+	Categories int
+	// ProductsPerCategory is the mean product count (minimum 1).
+	ProductsPerCategory int
+}
+
+// Catalog generates catalog/category[@name]/product*/{name, price,
+// margin, stock}: margin and stock are the confidential fields rule sets
+// typically protect.
+func Catalog(cfg CatalogConfig) *xmlstream.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Categories < 1 {
+		cfg.Categories = 1
+	}
+	if cfg.ProductsPerCategory < 1 {
+		cfg.ProductsPerCategory = 1
+	}
+	catalog := &xmlstream.Node{Name: "catalog"}
+	for c := 0; c < cfg.Categories; c++ {
+		cat := elem("category", attr("@name", fmt.Sprintf("cat%02d", c+1)))
+		// Roughly a quarter of the categories run a promotion; rules with
+		// a [promo] branch make whole categories index-decidable.
+		if rng.Float64() < 0.25 {
+			cat.Children = append(cat.Children, textElem("promo", sentence(rng, 6)))
+		}
+		products := 1 + rng.Intn(cfg.ProductsPerCategory*2-1)
+		for p := 0; p < products; p++ {
+			cat.Children = append(cat.Children, elem("product",
+				textElem("name", words[rng.Intn(len(words))]),
+				textElem("price", fmt.Sprintf("%d.%02d", 1+rng.Intn(500), rng.Intn(100))),
+				textElem("margin", fmt.Sprintf("%d%%", 5+rng.Intn(40))),
+				textElem("stock", fmt.Sprintf("%d", rng.Intn(1000))),
+				textElem("blurb", sentence(rng, 8+rng.Intn(8))),
+			))
+		}
+		catalog.Children = append(catalog.Children, cat)
+	}
+	return catalog
+}
+
+// sentence builds n words of deterministic filler prose.
+func sentence(rng *rand.Rand, n int) string {
+	out := make([]byte, 0, n*6)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out = append(out, ' ')
+		}
+		out = append(out, words[rng.Intn(len(words))]...)
+	}
+	return string(out)
+}
+
+// StreamConfig parameterizes the media-stream generator (demo application
+// 2: "selective dissemination of multimedia streams through unsecured
+// channels").
+type StreamConfig struct {
+	Seed     int64
+	Segments int
+	// PayloadBytes is the synthetic payload size per segment (the video
+	// frames of the paper's demo, which we model as opaque text).
+	PayloadBytes int
+}
+
+// MediaStream generates stream/segment[@n][@rating]/{meta/{rating,
+// channel, timestamp}, payload}. The rating is carried both as a segment
+// attribute (resolvable during the attribute phase, before any payload
+// byte — what dissemination filters key on) and as a metadata element
+// (for element-predicate rules); payload is what dissemination must
+// sustain in real time.
+func MediaStream(cfg StreamConfig) *xmlstream.Node {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.Segments < 1 {
+		cfg.Segments = 1
+	}
+	if cfg.PayloadBytes < 1 {
+		cfg.PayloadBytes = 64
+	}
+	ratings := []string{"all", "family", "teen", "adult"}
+	channels := []string{"news", "sports", "movies", "kids"}
+	stream := &xmlstream.Node{Name: "stream"}
+	for s := 0; s < cfg.Segments; s++ {
+		rating := ratings[rng.Intn(len(ratings))]
+		stream.Children = append(stream.Children, elem("segment",
+			attr("@n", fmt.Sprintf("%d", s)),
+			attr("@rating", rating),
+			elem("meta",
+				textElem("rating", rating),
+				textElem("channel", channels[rng.Intn(len(channels))]),
+				textElem("timestamp", fmt.Sprintf("%d", 1_100_000_000+s*40)),
+			),
+			textElem("payload", payload(rng, cfg.PayloadBytes)),
+		))
+	}
+	return stream
+}
+
+func payload(rng *rand.Rand, n int) string {
+	const hex = "0123456789abcdef"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = hex[rng.Intn(16)]
+	}
+	return string(b)
+}
+
+func elem(name string, children ...*xmlstream.Node) *xmlstream.Node {
+	return &xmlstream.Node{Name: name, Children: children}
+}
+
+func textElem(name, text string) *xmlstream.Node {
+	return &xmlstream.Node{Name: name, Children: []*xmlstream.Node{{Text: text}}}
+}
+
+func attr(name, value string) *xmlstream.Node {
+	return &xmlstream.Node{Name: name, Children: []*xmlstream.Node{{Text: value}}}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/accessrule"
+	"repro/internal/xpath"
+)
+
+// RuleConfig parameterizes RandomRuleSet and RandomQuery.
+type RuleConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Count is the number of rules to generate.
+	Count int
+	// Tags is the pool of node tests; typically the document's tags so
+	// rules actually bite.
+	Tags []string
+	// MaxSteps bounds path length (minimum 1).
+	MaxSteps int
+	// DescProb is the probability a step uses '//'.
+	DescProb float64
+	// WildProb is the probability a step is '*'.
+	WildProb float64
+	// PredProb is the probability a step carries a predicate.
+	PredProb float64
+	// ValuePredProb is the probability a predicate compares text (rather
+	// than testing existence). Values are drawn from the generator
+	// vocabulary so comparisons can actually succeed.
+	ValuePredProb float64
+	// NegProb is the probability a rule is negative.
+	NegProb float64
+	// DefaultSign for the generated set (0 means Deny).
+	DefaultSign accessrule.Sign
+}
+
+func (c *RuleConfig) normalize() {
+	if len(c.Tags) == 0 {
+		c.Tags = defaultTags
+	}
+	if c.MaxSteps < 1 {
+		c.MaxSteps = 1
+	}
+	if c.DefaultSign == 0 {
+		c.DefaultSign = accessrule.Deny
+	}
+}
+
+// RandomRuleSet generates a rule set for the subject.
+func RandomRuleSet(subject string, cfg RuleConfig) *accessrule.RuleSet {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rs := &accessrule.RuleSet{
+		Subject:     subject,
+		DefaultSign: cfg.DefaultSign,
+	}
+	for i := 0; i < cfg.Count; i++ {
+		sign := accessrule.Permit
+		if rng.Float64() < cfg.NegProb {
+			sign = accessrule.Deny
+		}
+		rs.Rules = append(rs.Rules, accessrule.Rule{
+			ID:     fmt.Sprintf("r%d", i+1),
+			Sign:   sign,
+			Object: randomPath(rng, &cfg, true),
+		})
+	}
+	return rs
+}
+
+// RandomQuery generates a query path.
+func RandomQuery(cfg RuleConfig) *xpath.Path {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return randomPath(rng, &cfg, true)
+}
+
+// randomPath builds a path of 1..MaxSteps steps. allowPreds gates
+// predicate generation (predicate paths themselves stay predicate-free
+// one level down with probability decay, bounding nesting).
+func randomPath(rng *rand.Rand, cfg *RuleConfig, allowPreds bool) *xpath.Path {
+	steps := rng.Intn(cfg.MaxSteps) + 1
+	p := &xpath.Path{}
+	for i := 0; i < steps; i++ {
+		var st xpath.Step
+		if rng.Float64() < cfg.DescProb {
+			st.Axis = xpath.Descendant
+		} else {
+			st.Axis = xpath.Child
+		}
+		if i == 0 && st.Axis == xpath.Child {
+			// An absolute /tag first step only matches the root; bias the
+			// first step toward '//' so generated rules reach content.
+			if rng.Float64() < 0.7 {
+				st.Axis = xpath.Descendant
+			}
+		}
+		if rng.Float64() < cfg.WildProb {
+			st.Name = "*"
+		} else {
+			st.Name = cfg.Tags[rng.Intn(len(cfg.Tags))]
+		}
+		if allowPreds && rng.Float64() < cfg.PredProb {
+			st.Preds = append(st.Preds, randomPred(rng, cfg))
+		}
+		p.Steps = append(p.Steps, st)
+	}
+	return p
+}
+
+func randomPred(rng *rand.Rand, cfg *RuleConfig) xpath.Pred {
+	var pred xpath.Pred
+	if rng.Float64() < 0.1 {
+		// '.' text comparison on the context node.
+		pred.Path = nil
+		pred.Cmp = xpath.Eq
+		pred.Value = words[rng.Intn(len(words))]
+		if rng.Float64() < 0.3 {
+			pred.Cmp = xpath.Neq
+		}
+		return pred
+	}
+	sub := *cfg
+	sub.MaxSteps = 2
+	sub.PredProb = cfg.PredProb / 3 // decay nested predicates
+	pred.Path = randomPath(rng, &sub, rng.Float64() < sub.PredProb)
+	if rng.Float64() < cfg.ValuePredProb {
+		pred.Cmp = xpath.Eq
+		pred.Value = words[rng.Intn(len(words))]
+		if rng.Float64() < 0.3 {
+			pred.Cmp = xpath.Neq
+		}
+	}
+	return pred
+}
+
+// Profile names a canonical rule-shape mix used by experiment E1.
+type Profile string
+
+// The four rule profiles of experiment E1.
+const (
+	// ProfileShallow: short absolute child paths, no predicates.
+	ProfileShallow Profile = "shallow"
+	// ProfileDeep: long child paths.
+	ProfileDeep Profile = "deep"
+	// ProfileDescendant: '//'-heavy paths (maximum nondeterminism).
+	ProfileDescendant Profile = "descendant"
+	// ProfilePredicate: predicate-heavy paths (pending machinery).
+	ProfilePredicate Profile = "predicate"
+)
+
+// Profiles lists all experiment profiles.
+var Profiles = []Profile{ProfileShallow, ProfileDeep, ProfileDescendant, ProfilePredicate}
+
+// ProfileConfig returns the RuleConfig realizing a profile.
+func ProfileConfig(p Profile, seed int64, count int, tags []string) RuleConfig {
+	cfg := RuleConfig{Seed: seed, Count: count, Tags: tags, NegProb: 0.3}
+	switch p {
+	case ProfileShallow:
+		cfg.MaxSteps = 2
+	case ProfileDeep:
+		cfg.MaxSteps = 6
+	case ProfileDescendant:
+		cfg.MaxSteps = 4
+		cfg.DescProb = 0.8
+		cfg.WildProb = 0.2
+	case ProfilePredicate:
+		cfg.MaxSteps = 3
+		cfg.DescProb = 0.4
+		cfg.PredProb = 0.8
+		cfg.ValuePredProb = 0.4
+	default:
+		panic(fmt.Sprintf("workload: unknown profile %q", p))
+	}
+	return cfg
+}
+
+// GrantAll returns the trivial rule set that permits everything — used as
+// the "owner" baseline in examples and benchmarks.
+func GrantAll(subject string) *accessrule.RuleSet {
+	return &accessrule.RuleSet{
+		Subject:     subject,
+		DefaultSign: accessrule.Permit,
+	}
+}
+
+// MustParseRules parses the textual rule format and panics on error;
+// examples use it for fixed policy tables.
+func MustParseRules(text string) *accessrule.RuleSet {
+	rs, err := accessrule.ParseSet(strings.TrimSpace(text))
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}

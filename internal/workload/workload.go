@@ -1,0 +1,113 @@
+// Package workload generates the synthetic documents, rule sets and
+// queries used by the test suite and the experiment harness.
+//
+// The demonstration paper exercises its platform with two applications —
+// collaborative data sharing among a community of users and selective
+// dissemination of multimedia streams — plus the medical-folder and
+// parental-control scenarios that motivate the introduction. This package
+// provides deterministic generators for all of them, plus a purely random
+// document/rule generator used by property tests.
+//
+// All generators are deterministic functions of their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xmlstream"
+)
+
+// Words is the vocabulary text values are drawn from.
+var words = []string{
+	"alpha", "bravo", "charlie", "delta", "echo", "foxtrot", "golf",
+	"hotel", "india", "juliet", "kilo", "lima", "mike", "november",
+	"oscar", "papa", "quebec", "romeo", "sierra", "tango", "uniform",
+	"victor", "whiskey", "xray", "yankee", "zulu",
+}
+
+// defaultTags is the tag pool of the random tree generator.
+var defaultTags = []string{
+	"a", "b", "c", "d", "e", "f", "g", "h",
+	"item", "name", "note", "data", "info", "list", "entry", "ref",
+}
+
+// TreeConfig parameterizes RandomDocument.
+type TreeConfig struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Tags is the tag pool; nil uses a built-in pool.
+	Tags []string
+	// Elements is the approximate number of elements to generate
+	// (minimum 1). The generator stops expanding once the budget is
+	// spent.
+	Elements int
+	// MaxDepth bounds nesting (minimum 2).
+	MaxDepth int
+	// MaxFanout bounds children per element (minimum 1).
+	MaxFanout int
+	// AttrProb is the probability that an element gets an attribute.
+	AttrProb float64
+	// TextProb is the probability that an element holds a text child.
+	TextProb float64
+}
+
+func (c *TreeConfig) normalize() {
+	if len(c.Tags) == 0 {
+		c.Tags = defaultTags
+	}
+	if c.Elements < 1 {
+		c.Elements = 1
+	}
+	if c.MaxDepth < 2 {
+		c.MaxDepth = 2
+	}
+	if c.MaxFanout < 1 {
+		c.MaxFanout = 1
+	}
+}
+
+// RandomDocument generates a random tree: the adversarial workload of the
+// property tests (uniform tags maximize automaton nondeterminism).
+func RandomDocument(cfg TreeConfig) *xmlstream.Node {
+	cfg.normalize()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	budget := cfg.Elements - 1
+	root := &xmlstream.Node{Name: cfg.Tags[rng.Intn(len(cfg.Tags))]}
+	fill(rng, &cfg, root, 1, &budget)
+	return root
+}
+
+func fill(rng *rand.Rand, cfg *TreeConfig, n *xmlstream.Node, depth int, budget *int) {
+	if rng.Float64() < cfg.AttrProb {
+		attr := &xmlstream.Node{Name: "@" + cfg.Tags[rng.Intn(len(cfg.Tags))]}
+		attr.Children = []*xmlstream.Node{{Text: words[rng.Intn(len(words))]}}
+		n.Children = append(n.Children, attr)
+	}
+	if rng.Float64() < cfg.TextProb {
+		n.Children = append(n.Children, &xmlstream.Node{Text: words[rng.Intn(len(words))]})
+	}
+	if depth >= cfg.MaxDepth || *budget <= 0 {
+		return
+	}
+	kids := rng.Intn(cfg.MaxFanout) + 1
+	for i := 0; i < kids && *budget > 0; i++ {
+		*budget--
+		child := &xmlstream.Node{Name: cfg.Tags[rng.Intn(len(cfg.Tags))]}
+		n.Children = append(n.Children, child)
+		fill(rng, cfg, child, depth+1, budget)
+		// Interleave trailing text occasionally, to exercise mixed content.
+		if rng.Float64() < cfg.TextProb/2 {
+			n.Children = append(n.Children, &xmlstream.Node{Text: words[rng.Intn(len(words))]})
+		}
+	}
+}
+
+// Text renders a node tree to XML bytes (compact form).
+func Text(n *xmlstream.Node) []byte {
+	s, err := xmlstream.Serialize(n.Events(), xmlstream.WriterOptions{})
+	if err != nil {
+		panic(fmt.Sprintf("workload: generated tree does not serialize: %v", err))
+	}
+	return []byte(s)
+}

@@ -1,0 +1,168 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+func TestRandomDocumentDeterministic(t *testing.T) {
+	cfg := TreeConfig{Seed: 42, Elements: 100, MaxDepth: 6, MaxFanout: 4, AttrProb: 0.3, TextProb: 0.6}
+	a := RandomDocument(cfg)
+	b := RandomDocument(cfg)
+	if !a.Equal(b) {
+		t.Fatal("same seed must generate the same document")
+	}
+	cfg.Seed = 43
+	if a.Equal(RandomDocument(cfg)) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestRandomDocumentRespectsBounds(t *testing.T) {
+	cfg := TreeConfig{Seed: 7, Elements: 200, MaxDepth: 5, MaxFanout: 3, TextProb: 0.5}
+	doc := RandomDocument(cfg)
+	stats := xmlstream.CollectStats(doc.Events())
+	if stats.MaxDepth > cfg.MaxDepth+1 { // +1: attributes nest one deeper
+		t.Errorf("depth %d exceeds bound %d", stats.MaxDepth, cfg.MaxDepth)
+	}
+	if stats.Elements > cfg.Elements+1 {
+		t.Errorf("elements %d exceed budget %d", stats.Elements, cfg.Elements)
+	}
+}
+
+func TestRandomDocumentAttributesFirst(t *testing.T) {
+	// The engine's attribute fail-fast depends on attributes preceding
+	// all other children; the generators must honour that convention.
+	doc := RandomDocument(TreeConfig{Seed: 3, Elements: 300, MaxDepth: 7, MaxFanout: 4, AttrProb: 0.5, TextProb: 0.7})
+	var check func(n *xmlstream.Node)
+	check = func(n *xmlstream.Node) {
+		seenOther := false
+		for _, c := range n.Children {
+			if c.IsText() {
+				seenOther = true
+				continue
+			}
+			if c.IsAttribute() {
+				if seenOther {
+					t.Fatalf("attribute %s after content in <%s>", c.Name, n.Name)
+				}
+				continue
+			}
+			seenOther = true
+			check(c)
+		}
+	}
+	check(doc)
+}
+
+func TestDomainGeneratorsWellFormed(t *testing.T) {
+	docs := map[string]*xmlstream.Node{
+		"medical": MedicalFolder(MedicalConfig{Seed: 1, Patients: 5, VisitsPerPatient: 3}),
+		"agenda":  Agenda(AgendaConfig{Seed: 1, Members: 4, EventsPerMember: 3}),
+		"catalog": Catalog(CatalogConfig{Seed: 1, Categories: 3, ProductsPerCategory: 4}),
+		"stream":  MediaStream(StreamConfig{Seed: 1, Segments: 6, PayloadBytes: 50}),
+	}
+	for name, doc := range docs {
+		xml := Text(doc) // panics if not serializable
+		back, err := xmlstream.Parse(xml)
+		if err != nil {
+			t.Errorf("%s: reparse: %v", name, err)
+		}
+		tree, err := xmlstream.BuildTree(back)
+		if err != nil {
+			t.Errorf("%s: rebuild: %v", name, err)
+		}
+		if !tree.Equal(doc) {
+			t.Errorf("%s: serialize/parse round trip changed the document", name)
+		}
+	}
+}
+
+func TestMedicalShape(t *testing.T) {
+	doc := MedicalFolder(MedicalConfig{Seed: 2, Patients: 7, VisitsPerPatient: 2})
+	if len(doc.Find("patient")) != 7 {
+		t.Errorf("want 7 patients, got %d", len(doc.Find("patient")))
+	}
+	if len(doc.Find("emergency")) != 7 {
+		t.Error("every patient needs an emergency record")
+	}
+	if len(doc.Find("ssn")) != 7 {
+		t.Error("every patient needs an ssn")
+	}
+}
+
+func TestStreamRatingsConsistent(t *testing.T) {
+	doc := MediaStream(StreamConfig{Seed: 2, Segments: 20, PayloadBytes: 30})
+	for _, seg := range doc.Find("segment") {
+		var attrVal, elemVal string
+		for _, c := range seg.Children {
+			if c.Name == "@rating" {
+				attrVal = c.TextContent()
+			}
+		}
+		for _, r := range seg.Find("rating") {
+			elemVal = r.TextContent()
+		}
+		if attrVal == "" || attrVal != elemVal {
+			t.Fatalf("segment rating attr %q != element %q", attrVal, elemVal)
+		}
+	}
+}
+
+func TestRandomRuleSetDeterministicAndValid(t *testing.T) {
+	cfg := RuleConfig{Seed: 5, Count: 20, MaxSteps: 4, DescProb: 0.4, PredProb: 0.5, ValuePredProb: 0.4, NegProb: 0.4}
+	a := RandomRuleSet("u", cfg)
+	b := RandomRuleSet("u", cfg)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rules) != 20 {
+		t.Fatalf("got %d rules", len(a.Rules))
+	}
+	for i := range a.Rules {
+		if !a.Rules[i].Object.Equal(b.Rules[i].Object) || a.Rules[i].Sign != b.Rules[i].Sign {
+			t.Fatal("same seed must generate the same rules")
+		}
+		// Generated objects must reparse from their own text form.
+		if _, err := xpath.Parse(a.Rules[i].Object.String()); err != nil {
+			t.Errorf("rule %d unparseable: %s (%v)", i, a.Rules[i].Object, err)
+		}
+	}
+}
+
+func TestProfileConfigs(t *testing.T) {
+	for _, p := range Profiles {
+		cfg := ProfileConfig(p, 1, 8, nil)
+		rs := RandomRuleSet("u", cfg)
+		if err := rs.Validate(); err != nil {
+			t.Errorf("profile %s produced an invalid set: %v", p, err)
+		}
+		if len(rs.Rules) != 8 {
+			t.Errorf("profile %s: got %d rules", p, len(rs.Rules))
+		}
+	}
+	predCfg := ProfileConfig(ProfilePredicate, 1, 30, nil)
+	rs := RandomRuleSet("u", predCfg)
+	preds := 0
+	for _, r := range rs.Rules {
+		preds += r.Object.PredCount()
+	}
+	if preds == 0 {
+		t.Error("predicate profile generated no predicates")
+	}
+}
+
+func TestGrantAllAndMustParse(t *testing.T) {
+	rs := GrantAll("owner")
+	if rs.DefaultSign.String() != "+" || len(rs.Rules) != 0 {
+		t.Error("GrantAll must be a bare open default")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseRules must panic on bad input")
+		}
+	}()
+	MustParseRules("not a ruleset")
+}

@@ -1,0 +1,86 @@
+// Package xmlstream implements the event-based (SAX-style) XML substrate
+// the paper's streaming access-control evaluator is fed with.
+//
+// The paper assumes "the evaluator is fed by an event-based parser (e.g.,
+// SAX) raising open, value and close events respectively for each opening,
+// text and closing tag in the input document". This package provides:
+//
+//   - the Event model (Open / Value / Close),
+//   - a small, non-validating pull parser producing those events,
+//   - a serializer turning an event stream back into XML text,
+//   - tree helpers and document statistics used by tests and workloads.
+//
+// Attributes are modelled as children: an element's attribute a="v" is
+// reported as Open("@a"), Value("v"), Close("@a") immediately after the
+// element's own Open event, before any other content. This is the usual
+// convention in the XML access-control literature (rules can then target
+// attributes with the same machinery as elements) and is reversed by the
+// serializer, which folds leading "@" children back into attributes.
+package xmlstream
+
+import "fmt"
+
+// Kind discriminates the three stream events of the paper's model.
+type Kind uint8
+
+// The three event kinds raised by the parser.
+const (
+	// Open is raised for each opening tag (and synthesized attribute).
+	Open Kind = iota
+	// Value is raised for each text node (and attribute value).
+	Value
+	// Close is raised for each closing tag (and synthesized attribute).
+	Close
+)
+
+// String returns the conventional name of the event kind.
+func (k Kind) String() string {
+	switch k {
+	case Open:
+		return "open"
+	case Value:
+		return "value"
+	case Close:
+		return "close"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one element of the stream: an opening tag, a text value, or a
+// closing tag. Attribute pseudo-elements use names starting with '@'.
+type Event struct {
+	Kind Kind
+	// Name is the tag name for Open and Close events ("" for Value).
+	Name string
+	// Text is the character data for Value events ("" otherwise).
+	Text string
+}
+
+// OpenEvent returns an Open event for the named tag.
+func OpenEvent(name string) Event { return Event{Kind: Open, Name: name} }
+
+// ValueEvent returns a Value event carrying the given text.
+func ValueEvent(text string) Event { return Event{Kind: Value, Text: text} }
+
+// CloseEvent returns a Close event for the named tag.
+func CloseEvent(name string) Event { return Event{Kind: Close, Name: name} }
+
+// IsAttribute reports whether the event names an attribute pseudo-element.
+func (e Event) IsAttribute() bool {
+	return len(e.Name) > 0 && e.Name[0] == '@'
+}
+
+// String renders the event in a compact debug form.
+func (e Event) String() string {
+	switch e.Kind {
+	case Open:
+		return "<" + e.Name + ">"
+	case Close:
+		return "</" + e.Name + ">"
+	case Value:
+		return fmt.Sprintf("%q", e.Text)
+	default:
+		return fmt.Sprintf("Event{%d}", e.Kind)
+	}
+}

@@ -1,0 +1,175 @@
+package xpath
+
+import (
+	"repro/internal/xmlstream"
+)
+
+// Select evaluates an absolute path against a document tree and returns
+// the matched element (or attribute pseudo-element) nodes in document
+// order. It is the reference evaluator: a deliberately simple,
+// materializing implementation that the streaming engine is checked
+// against. The root node is the document root element; the first step is
+// matched against it (for the Child axis) or against any node of the tree
+// (for the Descendant axis), mirroring standard semantics where the
+// context of an absolute path is the document node above the root element.
+func Select(root *xmlstream.Node, p *Path) []*xmlstream.Node {
+	if root == nil || p == nil || len(p.Steps) == 0 {
+		return nil
+	}
+	ctx := []*xmlstream.Node{}
+	// The virtual document node has a single child: the root element.
+	ctx = stepFrom(ctx, []*xmlstream.Node{root}, p.Steps[0])
+	for _, s := range p.Steps[1:] {
+		next := []*xmlstream.Node{}
+		for _, n := range ctx {
+			next = stepFrom(next, childElems(n), s)
+		}
+		ctx = dedupe(next)
+	}
+	return ctx
+}
+
+// Matches reports whether the path selects at least one node.
+func Matches(root *xmlstream.Node, p *Path) bool {
+	return len(Select(root, p)) > 0
+}
+
+// MatchesNode reports whether the given node is among the nodes selected
+// by the path.
+func MatchesNode(root *xmlstream.Node, p *Path, target *xmlstream.Node) bool {
+	for _, n := range Select(root, p) {
+		if n == target {
+			return true
+		}
+	}
+	return false
+}
+
+// stepFrom appends to out the nodes reached from the candidate set by one
+// step. candidates are the nodes the axis starts from: for Child they are
+// the candidate matches themselves; for Descendant the step matches any
+// node in their subtrees (descendant-or-self).
+func stepFrom(out, candidates []*xmlstream.Node, s Step) []*xmlstream.Node {
+	switch s.Axis {
+	case Child:
+		for _, n := range candidates {
+			if nodeMatches(n, s) {
+				out = append(out, n)
+			}
+		}
+	case Descendant:
+		var walk func(*xmlstream.Node)
+		walk = func(n *xmlstream.Node) {
+			if nodeMatches(n, s) {
+				out = append(out, n)
+			}
+			for _, c := range childElems(n) {
+				walk(c)
+			}
+		}
+		for _, n := range candidates {
+			walk(n)
+		}
+	}
+	return out
+}
+
+// nodeMatches reports whether node n passes the step's node test and all
+// its predicates.
+func nodeMatches(n *xmlstream.Node, s Step) bool {
+	if n.IsText() || !s.MatchesName(n.Name) {
+		return false
+	}
+	for _, pr := range s.Preds {
+		if !evalPred(n, pr) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalPred evaluates a predicate with n as context node.
+func evalPred(n *xmlstream.Node, pr Pred) bool {
+	if pr.Path == nil {
+		// '.' — compare the context node's direct text.
+		return compareText(n, pr.Cmp, pr.Value)
+	}
+	sel := selectRelative(n, pr.Path)
+	switch pr.Cmp {
+	case Exists:
+		return len(sel) > 0
+	case Eq, Neq:
+		for _, m := range sel {
+			if compareText(m, pr.Cmp, pr.Value) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// selectRelative evaluates a relative path with n as context node.
+func selectRelative(n *xmlstream.Node, p *Path) []*xmlstream.Node {
+	ctx := []*xmlstream.Node{n}
+	for i, s := range p.Steps {
+		next := []*xmlstream.Node{}
+		for _, m := range ctx {
+			next = stepFrom(next, childElems(m), s)
+		}
+		ctx = dedupe(next)
+		if len(ctx) == 0 {
+			return nil
+		}
+		_ = i
+	}
+	return ctx
+}
+
+// compareText applies Eq/Neq against the node's direct text children. The
+// streaming engine sees Value events as children of the element carrying
+// the comparison, so the reference semantics is: some direct text child
+// satisfies the comparison. Attribute pseudo-elements carry their value as
+// a single text child, so the same rule covers [@a = "v"].
+func compareText(n *xmlstream.Node, cmp Comparison, value string) bool {
+	for _, c := range n.Children {
+		if !c.IsText() {
+			continue
+		}
+		switch cmp {
+		case Eq:
+			if c.Text == value {
+				return true
+			}
+		case Neq:
+			if c.Text != value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// childElems returns the element and attribute children of n (text nodes
+// excluded).
+func childElems(n *xmlstream.Node) []*xmlstream.Node {
+	out := make([]*xmlstream.Node, 0, len(n.Children))
+	for _, c := range n.Children {
+		if !c.IsText() {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func dedupe(nodes []*xmlstream.Node) []*xmlstream.Node {
+	seen := make(map[*xmlstream.Node]bool, len(nodes))
+	out := nodes[:0]
+	for _, n := range nodes {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	return out
+}

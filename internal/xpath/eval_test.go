@@ -1,0 +1,161 @@
+package xpath
+
+import (
+	"testing"
+
+	"repro/internal/xmlstream"
+)
+
+func tree(t *testing.T, src string) *xmlstream.Node {
+	t.Helper()
+	evs, err := xmlstream.Parse([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := xmlstream.BuildTree(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// selectTexts evaluates the expression and returns the text content of
+// each selected node, a convenient fingerprint for assertions.
+func selectTexts(t *testing.T, root *xmlstream.Node, expr string) []string {
+	t.Helper()
+	p, err := Parse(expr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", expr, err)
+	}
+	var out []string
+	for _, n := range Select(root, p) {
+		out = append(out, n.TextContent())
+	}
+	return out
+}
+
+func TestSelectBasics(t *testing.T) {
+	root := tree(t, `<a><b><c>1</c><d>2</d></b><b><d>3</d></b><d>4</d></a>`)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"/a", []string{"1234"}},
+		{"/b", nil}, // root is a, not b
+		{"//b", []string{"12", "3"}},
+		{"/a/b/d", []string{"2", "3"}},
+		{"/a/d", []string{"4"}},
+		{"//d", []string{"2", "3", "4"}},
+		{"/a/*/d", []string{"2", "3"}},
+		{"//b[c]/d", []string{"2"}},
+		{"//b[c/e]/d", nil},
+		{"/a//d", []string{"2", "3", "4"}},
+		{"//c", []string{"1"}},
+		{"//b[d]", []string{"12", "3"}},
+		{"//b[c][d]", []string{"12"}},
+	}
+	for _, c := range cases {
+		got := selectTexts(t, root, c.expr)
+		if !sameStrings(got, c.want) {
+			t.Errorf("Select(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSelectAttributes(t *testing.T) {
+	root := tree(t, `<r><p id="1"><x>a</x></p><p id="2"><x>b</x></p></r>`)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"//p/@id", []string{"1", "2"}},
+		{"//@id", []string{"1", "2"}},
+		{"//@*", []string{"1", "2"}},
+		{`//p[@id = "2"]/x`, []string{"b"}},
+		{`//p[@id != "2"]/x`, []string{"a"}},
+		{`//p[@id = "3"]/x`, nil},
+	}
+	for _, c := range cases {
+		got := selectTexts(t, root, c.expr)
+		if !sameStrings(got, c.want) {
+			t.Errorf("Select(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSelectValuePredicates(t *testing.T) {
+	root := tree(t, `<lib><book><title>go</title><price>10</price></book><book><title>xml</title><price>20</price></book></lib>`)
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{`//book[title = "go"]/price`, []string{"10"}},
+		{`//book[title != "go"]/price`, []string{"20"}},
+		{`//book[title = "perl"]/price`, nil},
+		{`//title[. = "xml"]`, []string{"xml"}},
+		{`//title[. != "xml"]`, []string{"go"}},
+	}
+	for _, c := range cases {
+		got := selectTexts(t, root, c.expr)
+		if !sameStrings(got, c.want) {
+			t.Errorf("Select(%s) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestSelectDescendantSemantics(t *testing.T) {
+	// //a must match nested a's at every level, and a//a strictly below.
+	root := tree(t, `<a><a><a>x</a></a></a>`)
+	if got := len(Select(root, MustParse("//a"))); got != 3 {
+		t.Errorf("//a matched %d nodes, want 3", got)
+	}
+	if got := len(Select(root, MustParse("/a//a"))); got != 2 {
+		t.Errorf("/a//a matched %d nodes, want 2", got)
+	}
+	if got := len(Select(root, MustParse("/a/a/a"))); got != 1 {
+		t.Errorf("/a/a/a matched %d nodes, want 1", got)
+	}
+}
+
+func TestSelectNestedPredicates(t *testing.T) {
+	root := tree(t, `<r><s><t><u>deep</u></t></s><s><t>shallow</t></s></r>`)
+	got := selectTexts(t, root, `//s[t[u]]`)
+	if !sameStrings(got, []string{"deep"}) {
+		t.Errorf("nested predicate: got %v", got)
+	}
+	got = selectTexts(t, root, `//s[t//u]`)
+	if !sameStrings(got, []string{"deep"}) {
+		t.Errorf("descendant predicate: got %v", got)
+	}
+}
+
+func TestMatchesNode(t *testing.T) {
+	root := tree(t, `<a><b>1</b><c>2</c></a>`)
+	b := root.Find("b")[0]
+	c := root.Find("c")[0]
+	p := MustParse("//b")
+	if !MatchesNode(root, p, b) {
+		t.Error("//b should match the b node")
+	}
+	if MatchesNode(root, p, c) {
+		t.Error("//b should not match the c node")
+	}
+	if !Matches(root, p) {
+		t.Error("Matches(//b) should be true")
+	}
+	if Matches(root, MustParse("//zzz")) {
+		t.Error("Matches(//zzz) should be false")
+	}
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

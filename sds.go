@@ -1,0 +1,185 @@
+// Package sds is the public face of the safe-data-sharing platform: a Go
+// reproduction of Bouganim, Cremarenco, Dang Ngoc, Dieu and Pucheral,
+// "Safe Data Sharing and Data Dissemination on Smart Devices" (SIGMOD
+// 2005) and of the client-based XML access-control engine it demonstrates
+// (Bouganim, Dang Ngoc, Pucheral, VLDB 2004).
+//
+// The platform moves access control from the server to a Secure Operating
+// Environment (a smart card) on the client: documents live encrypted on
+// an untrusted store, and the card decrypts, verifies and filters them in
+// streaming fashion under dynamic, subject-specific rules — with a skip
+// index so that forbidden or irrelevant subtrees are neither transferred
+// nor decrypted.
+//
+// Three levels of use:
+//
+//   - pure library: Filter applies a rule set (and optional query) to an
+//     in-memory document — the paper's evaluator without any hardware
+//     simulation;
+//   - single process, full fidelity: NewMemStore + NewCard + Terminal run
+//     the complete publish/provision/query flow with encryption,
+//     integrity, skip index and simulated card costs (see
+//     examples/quickstart);
+//   - distributed: cmd/dspd serves the store over TCP, cmd/sdsctl drives
+//     it (see README.md).
+//
+// The subpackages under internal/ are the system's real structure
+// (DESIGN.md maps them); this package re-exports the surface a client
+// application needs.
+package sds
+
+import (
+	"fmt"
+
+	"repro/internal/accessrule"
+	"repro/internal/card"
+	"repro/internal/core"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/soe"
+	"repro/internal/xmlstream"
+	"repro/internal/xpath"
+)
+
+// Core model types.
+type (
+	// Document is an XML document tree (text nodes have empty Name;
+	// attribute pseudo-elements are children named "@attr").
+	Document = xmlstream.Node
+	// RuleSet is a subject's access-control policy for a document.
+	RuleSet = accessrule.RuleSet
+	// Rule is one <sign, subject, object> access rule.
+	Rule = accessrule.Rule
+	// Query is a parsed XP{[],*,//} expression.
+	Query = xpath.Path
+	// Key is the symmetric material protecting one document.
+	Key = secure.DocKey
+	// Card is a simulated smart card (the SOE).
+	Card = card.Card
+	// CardProfile is a card hardware model.
+	CardProfile = card.Profile
+	// Store is the untrusted document store (DSP).
+	Store = dsp.Store
+	// Terminal orchestrates pull queries for one card.
+	Terminal = proxy.Terminal
+	// Publisher encodes and uploads documents and rule sets.
+	Publisher = proxy.Publisher
+	// Result is a query outcome with its cost statistics.
+	Result = proxy.Result
+	// EncodeOptions tunes document encryption and indexing.
+	EncodeOptions = docenc.EncodeOptions
+	// SessionOptions tunes a card session (ablation switches).
+	SessionOptions = soe.Options
+)
+
+// Card hardware profiles.
+var (
+	// EGate models the paper's Axalto e-gate: 1 KB applet RAM, 2 KB/s
+	// link.
+	EGate = card.EGate
+	// Modern models a contemporary secure element.
+	Modern = card.Modern
+)
+
+// Rule signs.
+const (
+	Permit = accessrule.Permit
+	Deny   = accessrule.Deny
+)
+
+// ParseXML parses an XML document.
+func ParseXML(src []byte) (*Document, error) {
+	evs, err := xmlstream.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return xmlstream.BuildTree(evs)
+}
+
+// SerializeXML renders a document (indent "" = compact).
+func SerializeXML(doc *Document, indent string) (string, error) {
+	return xmlstream.Serialize(doc.Events(), xmlstream.WriterOptions{Indent: indent})
+}
+
+// ParseRules parses the textual rule-set format:
+//
+//	subject nurse
+//	doc folder
+//	default -
+//	+ /folder
+//	- //ssn
+func ParseRules(text string) (*RuleSet, error) {
+	return accessrule.ParseSet(text)
+}
+
+// ParseQuery parses an absolute XP{[],*,//} expression.
+func ParseQuery(expr string) (*Query, error) {
+	return xpath.Parse(expr)
+}
+
+// NewKey draws a fresh document key.
+func NewKey() (Key, error) { return secure.NewDocKey() }
+
+// KeyFromSeed derives a deterministic key (tests, reproducible demos).
+func KeyFromSeed(seed string) Key { return secure.KeyFromSeed(seed) }
+
+// NewMemStore returns an in-process untrusted store.
+func NewMemStore() *dsp.MemStore { return dsp.NewMemStore() }
+
+// DialStore connects to a dspd server.
+func DialStore(addr string) (*dsp.Client, error) { return dsp.Dial(addr) }
+
+// NewCard returns a provisionable simulated card.
+func NewCard(profile CardProfile) *Card { return card.New(profile) }
+
+// Filter applies a rule set (and optional query, "" for none) to an
+// in-memory document using the streaming engine, returning the authorized
+// view (nil when nothing is visible). This is the paper's evaluator as a
+// plain library: no encryption, no card simulation.
+func Filter(doc *Document, rules *RuleSet, query string) (*Document, error) {
+	var q *Query
+	if query != "" {
+		var err error
+		q, err = xpath.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, _, err := core.Filter(doc.Events(), rules, q)
+	return out, err
+}
+
+// Publish encrypts, indexes and uploads a document in one call.
+func Publish(store Store, doc *Document, docID string, key Key) error {
+	p := &Publisher{Store: store}
+	_, err := p.PublishDocument(doc, EncodeOptions{DocID: docID, Key: key})
+	return err
+}
+
+// Grant seals and uploads a subject's rule set for a document.
+func Grant(store Store, key Key, rules *RuleSet) error {
+	if rules.DocID == "" {
+		return fmt.Errorf("sds: the rule set must name its document (RuleSet.DocID)")
+	}
+	p := &Publisher{Store: store}
+	return p.GrantRules(key, rules)
+}
+
+// Provision installs a document key and the subject's current rights on a
+// card.
+func Provision(store Store, c *Card, docID, subject string, key Key) error {
+	if err := c.PutKey(docID, key); err != nil {
+		return err
+	}
+	t := &Terminal{Store: store, Card: c}
+	return t.InstallRules(subject, docID)
+}
+
+// QueryCard runs a pull query through a provisioned card ("" = the full
+// authorized view).
+func QueryCard(store Store, c *Card, subject, docID, query string) (*Result, error) {
+	t := &Terminal{Store: store, Card: c}
+	return t.Query(subject, docID, query)
+}
