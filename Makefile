@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: build test bench fmt vet ci
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: run the full test suite under the race detector
+test:
+	$(GO) test -race ./...
+
+## bench: one-iteration benchmark smoke run (perf code must keep compiling and running)
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## ci: exactly what .github/workflows/ci.yml runs
+ci: fmt vet build test bench

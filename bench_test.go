@@ -1,6 +1,6 @@
 package sds
 
-// One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E8). Each
+// One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E9). Each
 // measures the experiment's hot kernel and reports the experiment's
 // headline quantity as a custom metric; cmd/sdsbench prints the full
 // tables the experiments produce.
@@ -210,4 +210,24 @@ func BenchmarkE8DynamicRules(b *testing.B) {
 		ratio = float64(baseline) / float64(ours)
 	}
 	b.ReportMetric(ratio, "baseline/ours-bytes")
+}
+
+// BenchmarkE9ConcurrentDSP measures the scaled DSP (sharded store, LRU
+// cache, pipelined server, pooled batched clients) under 4 concurrent
+// clients over loopback TCP and reports aggregate blocks per second.
+func BenchmarkE9ConcurrentDSP(b *testing.B) {
+	rig, err := bench.NewDSPRig(true, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	var rate float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rate, err = rig.Hammer(4, 10, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rate, "blocks/s")
 }

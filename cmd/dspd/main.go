@@ -1,30 +1,73 @@
 // Command dspd runs the untrusted Document Store Provider as a TCP
-// server. Terminals connect with dsp.Dial (or cmd/sdsctl -store).
+// server. Terminals connect with dsp.Dial / dsp.DialPool (or
+// cmd/sdsctl -store).
 //
 // Usage:
 //
-//	dspd [-addr :7070]
+//	dspd [-addr :7070] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0]
 //
-// The store is in-memory: dspd models the honest-but-curious server of
-// the architecture, whose compromise the client-side access control is
-// designed to survive.
+// The store is in-memory, sharded by document id, and fronted by an LRU
+// block cache; the server pipelines requests per connection over a
+// bounded worker pool. dspd models the honest-but-curious server of the
+// architecture, whose compromise the client-side access control is
+// designed to survive — scaling it out never weakens the security
+// argument, which is why it is the tier built for fan-out.
+//
+// On SIGINT/SIGTERM the server drains in-flight requests and reports the
+// cache counters before exiting.
 package main
 
 import (
 	"flag"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/dsp"
 )
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	shards := flag.Int("shards", dsp.DefaultShards, "store shard count")
+	cacheMB := flag.Int("cache-mb", 64, "LRU block cache budget in MiB (0 disables the cache)")
+	workers := flag.Int("workers", 0, "max concurrently executing requests (0: 4×GOMAXPROCS)")
+	depth := flag.Int("depth", 0, "per-connection pipeline depth (0: default)")
 	flag.Parse()
 
-	srv := dsp.NewServer(dsp.NewMemStore())
+	var store dsp.Store = dsp.NewMemStoreShards(*shards)
+	var cache *dsp.Cache
+	if *cacheMB > 0 {
+		cache = dsp.NewCache(store, int64(*cacheMB)<<20)
+		store = cache
+	}
+	srv := dsp.NewServerConfig(store, dsp.ServerConfig{
+		Workers:       *workers,
+		PipelineDepth: *depth,
+	})
 	srv.Logf = log.Printf
-	log.Printf("dspd: serving the untrusted store on %s", *addr)
-	if err := srv.ListenAndServe(*addr); err != nil {
-		log.Fatal(err)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	log.Printf("dspd: serving the untrusted store on %s (%d shards, cache %d MiB)",
+		*addr, *shards, *cacheMB)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("dspd: %v, draining", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("dspd: close: %v", err)
+		}
+	}
+	if cache != nil {
+		st := cache.Stats()
+		log.Printf("dspd: cache %d hits / %d misses (%.1f%% hit rate), %d blocks resident, %d evictions",
+			st.Hits, st.Misses, 100*st.HitRate(), st.Blocks, st.Evictions)
 	}
 }

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	sdsctl [-store ADDR] [-profile egate|modern] <command> [args]
+//	sdsctl [-store ADDR] [-conns N] [-profile egate|modern] <command> [args]
 //
 // Commands:
 //
@@ -41,13 +41,14 @@ func main() {
 	log.SetPrefix("sdsctl: ")
 
 	storeAddr := flag.String("store", "", "dspd address (empty: local file-backed store)")
+	conns := flag.Int("conns", 1, "pooled connections to the dspd (with -store)")
 	profile := flag.String("profile", "egate", "card profile: egate or modern")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("missing command (publish, grant, query, ls)")
 	}
 
-	store, closeStore := openStore(*storeAddr)
+	store, closeStore := openStore(*storeAddr, *conns)
 	defer closeStore()
 
 	cmd := flag.Arg(0)
@@ -175,8 +176,15 @@ func requireAll(fields map[string]string) {
 	}
 }
 
-func openStore(addr string) (dsp.Store, func()) {
+func openStore(addr string, conns int) (dsp.Store, func()) {
 	if addr != "" {
+		if conns > 1 {
+			pool, err := dsp.DialPool(addr, conns)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return pool, func() { _ = pool.Close() }
+		}
 		client, err := dsp.Dial(addr)
 		if err != nil {
 			log.Fatal(err)

@@ -9,20 +9,65 @@
 // blocks the card proved irrelevant, so the child's card also does the
 // least work.
 //
+// The example runs the dissemination twice: first over an in-process
+// broadcast channel, then at fan-out — the encrypted stream is published
+// to a sharded+cached DSP served over TCP and every device pulls it
+// concurrently through one shared connection pool, fetching 8-block runs
+// per round trip.
+//
 // Run with: go run ./examples/dissemination
 package main
 
 import (
 	"fmt"
 	"log"
+	"net"
+	"sync"
 
 	"repro/internal/card"
 	"repro/internal/dissem"
 	"repro/internal/docenc"
+	"repro/internal/dsp"
 	"repro/internal/secure"
 	"repro/internal/soe"
 	"repro/internal/workload"
 )
+
+// profiles are the devices' parental-control rule sets. Rules key on the
+// segment's @rating attribute, which precedes the payload, so the card
+// settles each segment before its bulk arrives.
+var profiles = map[string]string{
+	"kids-tablet": "subject kids-tablet\ndefault -\n+ //segment[@rating = \"all\"]",
+	"teen-laptop": "subject teen-laptop\ndefault +\n- //segment[@rating = \"adult\"]",
+	"living-room": "subject living-room\ndefault +",
+}
+
+// newSubscriber provisions a fresh card for one device.
+func newSubscriber(name string, key secure.DocKey) *dissem.Subscriber {
+	c := card.New(card.EGate)
+	if err := c.PutKey("channel-7", key); err != nil {
+		log.Fatal(err)
+	}
+	rs := workload.MustParseRules(profiles[name])
+	rs.DocID = "channel-7"
+	if err := c.PutRuleSet(rs); err != nil {
+		log.Fatal(err)
+	}
+	return dissem.NewSubscriber(name, c, nil, soe.Options{})
+}
+
+func printReceptions(receptions []*dissem.Reception) {
+	fmt.Printf("\n%-12s  %-10s  %-9s  %-12s\n", "device", "segments", "blocks", "card time")
+	for _, r := range receptions {
+		delivered := 0
+		if r.Tree != nil {
+			delivered = len(r.Tree.Find("segment"))
+		}
+		fmt.Printf("%-12s  %-10d  %d/%-7d  %v\n",
+			r.Subscriber, delivered, r.BlocksForwarded, r.BlocksOffered,
+			r.Time.Total().Round(1e6))
+	}
+}
 
 func main() {
 	// The broadcaster encrypts the stream once, for all audiences.
@@ -42,46 +87,103 @@ func main() {
 	fmt.Printf("broadcasting 40 segments: %d encrypted blocks, %d payload bytes\n",
 		len(container.Blocks), info.PayloadBytes)
 
-	// Three devices with different parental-control profiles. Rules key
-	// on the segment's @rating attribute, which precedes the payload, so
-	// the card settles each segment before its bulk arrives.
-	profiles := map[string]string{
-		"kids-tablet": "subject kids-tablet\ndefault -\n+ //segment[@rating = \"all\"]",
-		"teen-laptop": "subject teen-laptop\ndefault +\n- //segment[@rating = \"adult\"]",
-		"living-room": "subject living-room\ndefault +",
-	}
+	// Act 1: one shared broadcast channel, three devices listening.
 	var subs []*dissem.Subscriber
 	subjects := map[string]string{}
-	for name, rules := range profiles {
-		c := card.New(card.EGate)
-		if err := c.PutKey("channel-7", key); err != nil {
-			log.Fatal(err)
-		}
-		rs := workload.MustParseRules(rules)
-		rs.DocID = "channel-7"
-		if err := c.PutRuleSet(rs); err != nil {
-			log.Fatal(err)
-		}
-		subs = append(subs, dissem.NewSubscriber(name, c, nil, soe.Options{}))
+	for name := range profiles {
+		subs = append(subs, newSubscriber(name, key))
 		subjects[name] = name
 	}
-
 	receptions, err := dissem.BroadcastPerSubject(container, subjects, subs)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	fmt.Printf("\n%-12s  %-10s  %-9s  %-12s\n", "device", "segments", "blocks", "card time")
-	for _, r := range receptions {
-		delivered := 0
-		if r.Tree != nil {
-			delivered = len(r.Tree.Find("segment"))
-		}
-		fmt.Printf("%-12s  %-10d  %d/%-7d  %v\n",
-			r.Subscriber, delivered, r.BlocksForwarded, r.BlocksOffered,
-			r.Time.Total().Round(1e6))
-	}
+	printReceptions(receptions)
 	fmt.Println("\nthe kids tablet received only all-ages segments, forwarded the fewest")
 	fmt.Println("blocks to its card, and spent the least simulated card time — the")
 	fmt.Println("filter runs on the receiving device, not at the broadcaster.")
+
+	// Act 2: the same stream at fan-out. The broadcaster publishes the
+	// encrypted container to an untrusted DSP (sharded store, LRU cache)
+	// and the devices pull it concurrently over TCP through one shared
+	// connection pool, in batched 8-block runs.
+	store := dsp.NewCache(dsp.NewMemStore(), 16<<20)
+	if err := store.PutDocument(container); err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := dsp.NewServer(store)
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	pool, err := dsp.DialPool(l.Addr().String(), len(profiles))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		pulled  []*dissem.Reception
+		pullErr error
+	)
+	for name := range profiles {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			r, err := pullAndFilter(pool, name, key)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if pullErr == nil {
+					pullErr = fmt.Errorf("%s: %w", name, err)
+				}
+				return
+			}
+			pulled = append(pulled, r)
+		}(name)
+	}
+	wg.Wait()
+	if pullErr != nil {
+		log.Fatal(pullErr)
+	}
+	printReceptions(pulled)
+	st := store.Stats()
+	fmt.Printf("\nfan-out over TCP: %d devices pulled %d blocks each through one pool;\n",
+		len(profiles), len(container.Blocks))
+	fmt.Printf("the DSP cache answered %.0f%% of block reads without touching the store.\n",
+		100*st.HitRate())
+}
+
+// pullAndFilter fetches the encrypted stream from the DSP in batched runs
+// and filters it on the device's own card — the pull-side equivalent of
+// standing under the broadcast.
+func pullAndFilter(pool *dsp.Pool, name string, key secure.DocKey) (*dissem.Reception, error) {
+	header, err := pool.Header("channel-7")
+	if err != nil {
+		return nil, err
+	}
+	local := &docenc.Container{Header: header}
+	n := header.NumBlocks()
+	for at := 0; at < n; at += 8 {
+		run := 8
+		if at+run > n {
+			run = n - at
+		}
+		blocks, err := pool.ReadBlocks("channel-7", at, run)
+		if err != nil {
+			return nil, err
+		}
+		local.Blocks = append(local.Blocks, blocks...)
+	}
+	sub := newSubscriber(name, key)
+	recs, err := dissem.Broadcast(local, name, []*dissem.Subscriber{sub})
+	if err != nil {
+		return nil, err
+	}
+	return recs[0], nil
 }

@@ -104,5 +104,6 @@ func All() []Experiment {
 		{"E6", "pending-predicate buffering", E6PendingBuffer},
 		{"E7", "selective dissemination throughput", E7Dissemination},
 		{"E8", "dynamic rule changes vs re-encryption", E8DynamicRules},
+		{"E9", "concurrent DSP throughput", E9ConcurrentDSP},
 	}
 }

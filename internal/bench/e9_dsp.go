@@ -1,0 +1,224 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/secure"
+	"repro/internal/workload"
+)
+
+// E9 measures the DSP tier under concurrent traffic: the paper makes the
+// untrusted store the only tier allowed to scale out (the card only sees
+// what the skip index admits), so aggregate encrypted-block throughput at
+// fan-out is the number that bounds a deployment. The experiment compares
+// the historical single-lock, one-request-at-a-time server against the
+// sharded store + LRU cache + pipelined worker-pool server introduced with
+// it, both over real loopback TCP.
+//
+// Unlike E1–E8 this experiment is wall-clock by construction (it measures
+// a network server); the workload itself is seeded and deterministic.
+
+// e9RunLen is the batched-read run length: the shape a skip-index run of
+// admitted blocks takes on the wire.
+const e9RunLen = 8
+
+// DSPRig is a live loopback DSP serving a fleet of encrypted documents,
+// either in the legacy single-lock configuration or in the scaled one.
+type DSPRig struct {
+	Addr string
+	Docs []*docenc.Container
+	// Cache is non-nil on the scaled rig (hit/miss counters).
+	Cache *dsp.Cache
+
+	srv *dsp.Server
+}
+
+// NewDSPRig encodes nDocs seeded documents and serves them. scaled
+// selects sharded store + cache + worker pool; otherwise a single-shard
+// store behind a one-worker, depth-one server reproduces the historical
+// serial DSP.
+func NewDSPRig(scaled bool, nDocs int) (*DSPRig, error) {
+	r := &DSPRig{}
+	var store dsp.Store
+	var cfg dsp.ServerConfig
+	if scaled {
+		r.Cache = dsp.NewCache(dsp.NewMemStore(), 32<<20)
+		store = r.Cache
+		cfg = dsp.ServerConfig{} // defaults: pooled workers, pipelining
+	} else {
+		store = dsp.NewMemStoreShards(1)
+		cfg = dsp.ServerConfig{Workers: 1, PipelineDepth: 1}
+	}
+	for i := 0; i < nDocs; i++ {
+		doc := workload.RandomDocument(workload.TreeConfig{
+			Seed: int64(900 + i), Elements: 600, MaxDepth: 7, MaxFanout: 5,
+			TextProb: 0.7, AttrProb: 0.2,
+		})
+		id := fmt.Sprintf("e9-doc-%d", i)
+		c, _, err := docenc.Encode(doc, docenc.EncodeOptions{
+			DocID: id, Key: secure.KeyFromSeed(id),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := store.PutDocument(c); err != nil {
+			return nil, err
+		}
+		r.Docs = append(r.Docs, c)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r.Addr = l.Addr().String()
+	r.srv = dsp.NewServerConfig(store, cfg)
+	go func() { _ = r.srv.Serve(l) }()
+	return r, nil
+}
+
+// Close stops the server and waits for in-flight requests.
+func (r *DSPRig) Close() {
+	_ = r.srv.Close()
+}
+
+// Hammer runs clients concurrent workers, each scanning its document's
+// full block range passes times, and returns aggregate blocks/second.
+// batched=false issues one round trip per block over a private
+// connection (the legacy client pattern); batched=true fans out over one
+// shared connection pool and fetches e9RunLen-block runs per round trip.
+func (r *DSPRig) Hammer(clients, passes int, batched bool) (float64, error) {
+	var pool *dsp.Pool
+	if batched {
+		var err error
+		pool, err = dsp.DialPool(r.Addr, clients)
+		if err != nil {
+			return 0, err
+		}
+		defer pool.Close()
+	}
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		total  int
+		firstE error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstE == nil {
+			firstE = err
+		}
+		mu.Unlock()
+	}
+	start := time.Now()
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			doc := r.Docs[g%len(r.Docs)]
+			id := doc.Header.DocID
+			n := len(doc.Blocks)
+			var store dsp.Store = pool
+			if !batched {
+				c, err := dsp.Dial(r.Addr)
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer c.Close()
+				store = c
+			}
+			served := 0
+			for p := 0; p < passes; p++ {
+				if batched {
+					for at := 0; at < n; at += e9RunLen {
+						run := e9RunLen
+						if at+run > n {
+							run = n - at
+						}
+						bs, err := dsp.ReadBlockRange(store, id, at, run)
+						if err != nil {
+							fail(err)
+							return
+						}
+						served += len(bs)
+					}
+				} else {
+					for i := 0; i < n; i++ {
+						if _, err := store.ReadBlock(id, i); err != nil {
+							fail(err)
+							return
+						}
+						served++
+					}
+				}
+			}
+			mu.Lock()
+			total += served
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return 0, firstE
+	}
+	return float64(total) / time.Since(start).Seconds(), nil
+}
+
+// E9ConcurrentDSP compares aggregate block throughput of the two DSP
+// configurations as the number of concurrent clients grows.
+func E9ConcurrentDSP() []*Table {
+	const (
+		nDocs  = 4
+		passes = 25
+	)
+	base, err := NewDSPRig(false, nDocs)
+	if err != nil {
+		panic(err)
+	}
+	defer base.Close()
+	scaled, err := NewDSPRig(true, nDocs)
+	if err != nil {
+		panic(err)
+	}
+	defer scaled.Close()
+
+	t := &Table{
+		ID:    "E9",
+		Title: "DSP aggregate block throughput vs concurrent clients (loopback TCP)",
+		Columns: []string{"clients", "single-lock blk/s", "sharded+cached blk/s",
+			"speedup", "cache hits"},
+		Notes: []string{
+			"single-lock: 1-shard store, 1 server worker, depth-1 pipeline, per-block round trips",
+			"sharded+cached: 16-shard store, LRU block cache, pooled workers, batched 8-block runs",
+			"wall-clock measurement (real network server); workload is seeded",
+		},
+	}
+	for _, clients := range []int{1, 2, 4, 8} {
+		baseRate, err := base.Hammer(clients, passes, false)
+		if err != nil {
+			panic(err)
+		}
+		before := scaled.Cache.Stats()
+		scaledRate, err := scaled.Hammer(clients, passes, true)
+		if err != nil {
+			panic(err)
+		}
+		st := scaled.Cache.Stats()
+		hits := float64(st.Hits - before.Hits)
+		lookups := hits + float64(st.Misses-before.Misses)
+		t.AddRow(
+			fmt.Sprintf("%d", clients),
+			fmt.Sprintf("%.0f", baseRate),
+			fmt.Sprintf("%.0f", scaledRate),
+			fmt.Sprintf("%.1fx", scaledRate/baseRate),
+			pct(hits, lookups),
+		)
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,304 @@
+package dsp
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/docenc"
+)
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits and Misses count block lookups served from / past the cache.
+	Hits, Misses int64
+	// Evictions counts blocks dropped to respect the byte budget.
+	Evictions int64
+	// Blocks and Bytes describe the current residency.
+	Blocks int
+	Bytes  int64
+}
+
+// HitRate returns hits / lookups, or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Cache is an LRU block cache in front of a Store: hot encrypted blocks
+// are served from memory without touching the backing store. Blocks are
+// ciphertext — the cache never sees plaintext, so it is as untrusted as
+// the store it fronts and can run on the same scaled-out tier.
+//
+// The cache is sharded by (document, block) so it adds no global lock to
+// a sharded backend and one hot document can use the whole byte budget.
+// Only block reads are cached; headers and rule sets pass through (they
+// are one-lock lookups already).
+type Cache struct {
+	store  Store
+	shards []cacheShard
+
+	// gens carries a generation counter per re-published document
+	// (docID → *atomic.Uint64). PutDocument bumps it before purging, and
+	// fills started against the old generation refuse to insert —
+	// otherwise an in-flight read of the old ciphertext could land after
+	// the purge and be served until eviction. Entries are created only
+	// by invalidation, so reads of arbitrary (or hostile, nonexistent)
+	// ids never grow the map.
+	gens sync.Map
+
+	hits, misses, evictions atomic.Int64
+}
+
+type cacheShard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+}
+
+type cacheKey struct {
+	docID string
+	idx   int
+}
+
+type cacheEntry struct {
+	key   cacheKey
+	gen   uint64
+	block []byte
+}
+
+// DefaultCacheBytes is the NewCache budget when maxBytes <= 0 (64 MiB —
+// a few hundred documents of the paper's workloads).
+const DefaultCacheBytes = 64 << 20
+
+// NewCache wraps store with an LRU block cache holding at most maxBytes
+// of block data (<= 0 selects DefaultCacheBytes).
+func NewCache(store Store, maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	n := DefaultShards
+	c := &Cache{store: store, shards: make([]cacheShard, n)}
+	per := maxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].maxBytes = per
+		c.shards[i].lru = list.New()
+		c.shards[i].entries = make(map[cacheKey]*list.Element)
+	}
+	return c
+}
+
+func (c *Cache) shard(k cacheKey) *cacheShard {
+	return &c.shards[shardHash(k.docID, uint32(k.idx))%uint32(len(c.shards))]
+}
+
+// genValue returns the document's current generation (0 until its first
+// re-publish; only invalidate creates entries).
+func (c *Cache) genValue(docID string) uint64 {
+	if g, ok := c.gens.Load(docID); ok {
+		return g.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+// Stats snapshots the counters and residency.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Blocks += sh.lru.Len()
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}
+
+// lookup returns a cached block, or nil.
+func (sh *cacheShard) lookup(k cacheKey) []byte {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	el, ok := sh.entries[k]
+	if !ok {
+		return nil
+	}
+	sh.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).block
+}
+
+// insert adds a block fetched under generation wantGen, evicting from
+// the tail to stay under budget. A fill whose generation is stale (the
+// document was re-published while the backing read was in flight) is
+// dropped. Returns the number of evictions.
+func (c *Cache) insert(sh *cacheShard, k cacheKey, wantGen uint64, block []byte) int64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c.genValue(k.docID) != wantGen {
+		return 0
+	}
+	if el, ok := sh.entries[k]; ok {
+		// Racing fill of the same block and generation: keep the
+		// resident copy fresh.
+		sh.lru.MoveToFront(el)
+		return 0
+	}
+	if int64(len(block)) > sh.maxBytes {
+		return 0 // an oversized block would evict the whole shard for one use
+	}
+	sh.entries[k] = sh.lru.PushFront(&cacheEntry{key: k, gen: wantGen, block: block})
+	sh.bytes += int64(len(block))
+	var evicted int64
+	for sh.bytes > sh.maxBytes {
+		tail := sh.lru.Back()
+		if tail == nil {
+			break
+		}
+		e := tail.Value.(*cacheEntry)
+		sh.lru.Remove(tail)
+		delete(sh.entries, e.key)
+		sh.bytes -= int64(len(e.block))
+		evicted++
+	}
+	return evicted
+}
+
+// purgeDoc drops every resident block of one document from one shard.
+func (sh *cacheShard) purgeDoc(docID string) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for el := sh.lru.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.key.docID == docID {
+			sh.lru.Remove(el)
+			delete(sh.entries, e.key)
+			sh.bytes -= int64(len(e.block))
+		}
+		el = next
+	}
+}
+
+// invalidate retires a document's cached blocks: after a re-put the old
+// ciphertext must not be served (the header's version changed and the
+// card would reject stale blocks as a replay). The generation bump
+// happens first so concurrent fills of the old content abort.
+func (c *Cache) invalidate(docID string) {
+	g, _ := c.gens.LoadOrStore(docID, new(atomic.Uint64))
+	g.(*atomic.Uint64).Add(1)
+	for i := range c.shards {
+		c.shards[i].purgeDoc(docID)
+	}
+}
+
+// PutDocument implements Store, invalidating the document's cached blocks.
+func (c *Cache) PutDocument(con *docenc.Container) error {
+	if err := c.store.PutDocument(con); err != nil {
+		return err
+	}
+	if con != nil && con.Header.DocID != "" {
+		c.invalidate(con.Header.DocID)
+	}
+	return nil
+}
+
+// Header implements Store (pass-through).
+func (c *Cache) Header(docID string) (docenc.Header, error) {
+	return c.store.Header(docID)
+}
+
+// ReadBlock implements Store through the cache.
+func (c *Cache) ReadBlock(docID string, idx int) ([]byte, error) {
+	k := cacheKey{docID: docID, idx: idx}
+	sh := c.shard(k)
+	if b := sh.lookup(k); b != nil {
+		c.hits.Add(1)
+		return b, nil
+	}
+	c.misses.Add(1)
+	wantGen := c.genValue(docID)
+	b, err := c.store.ReadBlock(docID, idx)
+	if err != nil {
+		return nil, err
+	}
+	c.evictions.Add(c.insert(sh, k, wantGen, b))
+	return b, nil
+}
+
+// ReadBlocks implements BlockRangeReader: resident blocks are served from
+// memory and each gap is fetched from the backing store in one batched
+// read (when it supports ranges).
+func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
+	}
+	out := make([][]byte, count)
+	missFrom := -1
+	flushGap := func(end int) error {
+		if missFrom < 0 {
+			return nil
+		}
+		wantGen := c.genValue(docID)
+		got, err := ReadBlockRange(c.store, docID, start+missFrom, end-missFrom)
+		if err != nil {
+			return err
+		}
+		for j, b := range got {
+			out[missFrom+j] = b
+			k := cacheKey{docID: docID, idx: start + missFrom + j}
+			c.evictions.Add(c.insert(c.shard(k), k, wantGen, b))
+		}
+		missFrom = -1
+		return nil
+	}
+	for i := 0; i < count; i++ {
+		k := cacheKey{docID: docID, idx: start + i}
+		if b := c.shard(k).lookup(k); b != nil {
+			c.hits.Add(1)
+			if err := flushGap(i); err != nil {
+				return nil, err
+			}
+			out[i] = b
+			continue
+		}
+		c.misses.Add(1)
+		if missFrom < 0 {
+			missFrom = i
+		}
+	}
+	if err := flushGap(count); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PutRuleSet implements Store (pass-through).
+func (c *Cache) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
+	return c.store.PutRuleSet(docID, subject, version, sealed)
+}
+
+// RuleSet implements Store (pass-through).
+func (c *Cache) RuleSet(docID, subject string) ([]byte, error) {
+	return c.store.RuleSet(docID, subject)
+}
+
+// ListDocuments implements Store (pass-through).
+func (c *Cache) ListDocuments() ([]string, error) {
+	return c.store.ListDocuments()
+}
+
+var (
+	_ Store            = (*Cache)(nil)
+	_ BlockRangeReader = (*Cache)(nil)
+)

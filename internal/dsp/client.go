@@ -5,20 +5,28 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/docenc"
 )
 
+// ServerError is an error the server reported about a request (unknown
+// document, stale rule set, …). The connection that carried it is still
+// healthy — transport failures are returned as ordinary errors instead.
+type ServerError string
+
+func (e ServerError) Error() string { return "dsp: server: " + string(e) }
+
 // Client is a Store backed by a remote dspd server. Requests on one
-// client are serialized (the protocol is strictly request/response);
-// open several clients for concurrency.
+// client are serialized (responses are correlated by order); use a Pool
+// for concurrent traffic over several connections.
 type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 
-	// BytesRead counts response payload bytes: the "transferred from the
+	// bytesRead counts response payload bytes: the "transferred from the
 	// DSP" measure of experiment E3 when running against a real server.
-	BytesRead int64
+	bytesRead atomic.Int64
 }
 
 // Dial connects to a dspd server.
@@ -32,6 +40,9 @@ func Dial(addr string) (*Client, error) {
 
 // Close terminates the connection.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// BytesRead reports the response payload bytes received so far.
+func (c *Client) BytesRead() int64 { return c.bytesRead.Load() }
 
 // roundTrip sends a request and decodes the status byte.
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
@@ -47,12 +58,12 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	if len(resp) == 0 {
 		return nil, fmt.Errorf("dsp: empty response")
 	}
-	c.BytesRead += int64(len(resp))
+	c.bytesRead.Add(int64(len(resp)))
 	switch resp[0] {
 	case statusOK:
 		return resp[1:], nil
 	case statusErr:
-		return nil, fmt.Errorf("dsp: server: %s", resp[1:])
+		return nil, ServerError(resp[1:])
 	default:
 		return nil, fmt.Errorf("dsp: bad response status %d", resp[0])
 	}
@@ -83,6 +94,38 @@ func (c *Client) ReadBlock(docID string, idx int) ([]byte, error) {
 	req := appendString([]byte{opReadBlock}, docID)
 	req = binary.AppendUvarint(req, uint64(idx))
 	return c.roundTrip(req)
+}
+
+// ReadBlocks implements BlockRangeReader: one round trip for a whole
+// skip-index run instead of count request/response exchanges.
+func (c *Client) ReadBlocks(docID string, start, count int) ([][]byte, error) {
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
+	}
+	req := appendString([]byte{opReadBlocks}, docID)
+	req = binary.AppendUvarint(req, uint64(start))
+	req = binary.AppendUvarint(req, uint64(count))
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	r := &wireReader{data: resp}
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n != uint64(count) {
+		return nil, fmt.Errorf("dsp: batched read returned %d blocks, want %d", n, count)
+	}
+	out := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		b := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, append([]byte(nil), b...))
+	}
+	return out, nil
 }
 
 // PutRuleSet implements Store.
@@ -120,4 +163,7 @@ func (c *Client) ListDocuments() ([]string, error) {
 	return out, nil
 }
 
-var _ Store = (*Client)(nil)
+var (
+	_ Store            = (*Client)(nil)
+	_ BlockRangeReader = (*Client)(nil)
+)

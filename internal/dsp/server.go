@@ -6,32 +6,79 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 
 	"repro/internal/docenc"
 )
 
-// Server exposes a Store over TCP.
+// ServerConfig tunes the concurrent serving machinery.
+type ServerConfig struct {
+	// Workers bounds the number of requests executing at once across all
+	// connections (<= 0: 4 × GOMAXPROCS). One worker degenerates to the
+	// strictly sequential server.
+	Workers int
+	// PipelineDepth bounds how many requests one connection may have in
+	// flight before the reader stops pulling frames (<= 0: 32). Depth 1
+	// degenerates to strict request/response.
+	PipelineDepth int
+}
+
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 32
+	}
+	return c
+}
+
+// Server exposes a Store over TCP. Each connection pipelines: a reader
+// pulls frames as fast as the client sends them, a bounded worker pool
+// executes them, and a per-connection writer puts responses back on the
+// wire in request order (the protocol has no request ids, so ordering is
+// the correlation).
 type Server struct {
 	store Store
+	cfg   ServerConfig
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+
+	workers chan struct{} // worker-pool slots
 
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	handlers sync.WaitGroup // in-flight connection handlers
 }
 
-// NewServer wraps a store.
+// NewServer wraps a store with the default concurrency configuration.
 func NewServer(store Store) *Server {
-	return &Server{store: store, conns: make(map[net.Conn]struct{})}
+	return NewServerConfig(store, ServerConfig{})
+}
+
+// NewServerConfig wraps a store with an explicit configuration.
+func NewServerConfig(store Store, cfg ServerConfig) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		store:   store,
+		cfg:     cfg,
+		workers: make(chan struct{}, cfg.Workers),
+		conns:   make(map[net.Conn]struct{}),
+	}
 }
 
 // Serve accepts connections until the listener closes. It retains the
 // listener so Close can stop it.
 func (s *Server) Serve(l net.Listener) error {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = l.Close()
+		return fmt.Errorf("dsp: server is closed")
+	}
 	s.listener = l
 	s.mu.Unlock()
 	for {
@@ -46,7 +93,13 @@ func (s *Server) Serve(l net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
 		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
 		s.mu.Unlock()
 		go s.handle(conn)
 	}
@@ -61,10 +114,15 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(l)
 }
 
-// Close stops the listener and all connections.
+// Close stops the listener, closes every connection, and waits for all
+// in-flight handlers (and the requests they dispatched) to drain.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.closed {
+		s.mu.Unlock()
+		s.handlers.Wait()
+		return nil
+	}
 	s.closed = true
 	var err error
 	if s.listener != nil {
@@ -73,6 +131,8 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		_ = c.Close()
 	}
+	s.mu.Unlock()
+	s.handlers.Wait()
 	return err
 }
 
@@ -82,27 +142,69 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// handle owns one connection: it reads frames, fans them out to the
+// worker pool, and hands each request's response slot to the writer in
+// arrival order. It returns (and deregisters the connection exactly once)
+// only after every dispatched request has been answered or abandoned.
 func (s *Server) handle(conn net.Conn) {
 	defer func() {
-		_ = conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		_ = conn.Close()
+		s.handlers.Done()
 	}()
+
+	// pending carries, in request order, the channel each in-flight
+	// request will deliver its response on. Its capacity is the pipeline
+	// depth: a client that floods frames blocks the reader, not the pool.
+	pending := make(chan chan []byte, s.cfg.PipelineDepth)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for ch := range pending {
+			resp := <-ch
+			if broken {
+				continue // drain so dispatchers are never abandoned
+			}
+			if err := writeFrame(conn, resp); err != nil {
+				if !errors.Is(err, net.ErrClosed) {
+					s.logf("dsp: connection %s: write: %v", remoteAddr(conn), err)
+				}
+				// Stop the reader too: without responses the client is wedged.
+				_ = conn.Close()
+				broken = true
+			}
+		}
+	}()
+
 	for {
 		req, err := readFrame(conn)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.logf("dsp: connection %s: %v", conn.RemoteAddr(), err)
+				s.logf("dsp: connection %s: %v", remoteAddr(conn), err)
 			}
-			return
+			break
 		}
-		resp := s.dispatch(req)
-		if err := writeFrame(conn, resp); err != nil {
-			s.logf("dsp: connection %s: write: %v", conn.RemoteAddr(), err)
-			return
-		}
+		ch := make(chan []byte, 1)
+		pending <- ch
+		s.workers <- struct{}{}
+		go func(req []byte, ch chan<- []byte) {
+			defer func() { <-s.workers }()
+			ch <- s.dispatch(req)
+		}(req, ch)
 	}
+	close(pending)
+	<-writerDone
+}
+
+// remoteAddr formats a peer address defensively (tests may pass pipes).
+func remoteAddr(conn net.Conn) string {
+	if a := conn.RemoteAddr(); a != nil {
+		return a.String()
+	}
+	return "?"
 }
 
 // dispatch executes one request and builds the response.
@@ -147,6 +249,38 @@ func (s *Server) dispatch(req []byte) []byte {
 			return errResponse(err)
 		}
 		return okResponse(b)
+	case opReadBlocks:
+		docID := r.string()
+		start := r.uvarint()
+		count := r.uvarint()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		if count > maxBatchBlocks {
+			return errResponse(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
+		}
+		// No document has anywhere near 2^31 blocks: reject hostile
+		// offsets before they reach int arithmetic.
+		if start > 1<<31 {
+			return errResponse(fmt.Errorf("dsp: block offset %d out of range", start))
+		}
+		blocks, err := ReadBlockRange(s.store, docID, int(start), int(count))
+		if err != nil {
+			return errResponse(err)
+		}
+		body := binary.AppendUvarint(nil, uint64(len(blocks)))
+		for _, b := range blocks {
+			body = appendBytes(body, b)
+		}
+		// A run of large blocks can outgrow the frame limit even within
+		// the count cap; report it as an error the client can act on
+		// (request fewer blocks) instead of letting the writer tear the
+		// connection down on an unsendable frame.
+		if len(body)+1 > maxFrame {
+			return errResponse(fmt.Errorf(
+				"dsp: batch response of %d bytes exceeds frame limit; request fewer blocks", len(body)))
+		}
+		return okResponse(body)
 	case opPutRuleSet:
 		docID := r.string()
 		subject := r.string()

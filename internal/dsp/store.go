@@ -8,8 +8,12 @@
 // obligations are availability and range reads — the latter is what turns
 // the SOE's skip decisions into bytes never transmitted.
 //
-// Two implementations are provided: MemStore (in-process) and a TCP
-// client/server pair (cmd/dspd) speaking a length-prefixed binary
+// Because the DSP is the only tier the architecture allows to scale out,
+// it is built for concurrent traffic: MemStore shards documents across
+// independently locked partitions, Cache keeps hot encrypted blocks in an
+// LRU front, the TCP server pipelines requests per connection over a
+// bounded worker pool, and Pool fans client traffic over several
+// connections. cmd/dspd serves a store over a length-prefixed binary
 // protocol.
 package dsp
 
@@ -37,8 +41,43 @@ type Store interface {
 	ListDocuments() ([]string, error)
 }
 
-// MemStore is the in-process Store.
+// BlockRangeReader is implemented by stores that can serve a contiguous
+// run of blocks in one call — the skip index hands the terminal exactly
+// such runs, so a batched read turns a run into one round trip.
+type BlockRangeReader interface {
+	ReadBlocks(docID string, start, count int) ([][]byte, error)
+}
+
+// ReadBlockRange fetches blocks [start, start+count) of a document,
+// batched when the store supports it and block-by-block otherwise.
+func ReadBlockRange(s Store, docID string, start, count int) ([][]byte, error) {
+	if count < 0 || start < 0 {
+		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
+	}
+	if br, ok := s.(BlockRangeReader); ok {
+		return br.ReadBlocks(docID, start, count)
+	}
+	out := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		b, err := s.ReadBlock(docID, start+i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// DefaultShards is the MemStore shard count used by NewMemStore.
+const DefaultShards = 16
+
+// MemStore is the in-process Store, sharded by document id so that
+// concurrent readers of different documents never contend on one lock.
 type MemStore struct {
+	shards []memShard
+}
+
+type memShard struct {
 	mu    sync.RWMutex
 	docs  map[string]*docenc.Container
 	rules map[string]ruleEntry
@@ -49,12 +88,43 @@ type ruleEntry struct {
 	sealed  []byte
 }
 
-// NewMemStore returns an empty store.
+// NewMemStore returns an empty store with DefaultShards partitions.
 func NewMemStore() *MemStore {
-	return &MemStore{
-		docs:  make(map[string]*docenc.Container),
-		rules: make(map[string]ruleEntry),
+	return NewMemStoreShards(DefaultShards)
+}
+
+// NewMemStoreShards returns an empty store with n partitions (n < 1 is
+// clamped to 1, which degenerates to the single-lock layout).
+func NewMemStoreShards(n int) *MemStore {
+	if n < 1 {
+		n = 1
 	}
+	s := &MemStore{shards: make([]memShard, n)}
+	for i := range s.shards {
+		s.shards[i].docs = make(map[string]*docenc.Container)
+		s.shards[i].rules = make(map[string]ruleEntry)
+	}
+	return s
+}
+
+// shardHash is an allocation-free FNV-1a over a document id and a block
+// index (pass 0 when sharding by document alone) — the hot read path
+// runs it per request, so it must not heap-allocate a hasher.
+func shardHash(docID string, idx uint32) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(docID); i++ {
+		h = (h ^ uint32(docID[i])) * 16777619
+	}
+	for s := 0; s < 32; s += 8 {
+		h = (h ^ ((idx >> s) & 0xff)) * 16777619
+	}
+	return h
+}
+
+// shard maps a document id to its partition. Rule sets live with their
+// document so one (doc, subject) exchange touches one lock.
+func (s *MemStore) shard(docID string) *memShard {
+	return &s.shards[shardHash(docID, 0)%uint32(len(s.shards))]
 }
 
 // PutDocument implements Store.
@@ -66,17 +136,19 @@ func (s *MemStore) PutDocument(c *docenc.Container) error {
 		return fmt.Errorf("dsp: container block count %d does not match geometry %d",
 			len(c.Blocks), c.Header.NumBlocks())
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.docs[c.Header.DocID] = c
+	sh := s.shard(c.Header.DocID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.docs[c.Header.DocID] = c
 	return nil
 }
 
 // Header implements Store.
 func (s *MemStore) Header(docID string) (docenc.Header, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.docs[docID]
+	sh := s.shard(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.docs[docID]
 	if !ok {
 		return docenc.Header{}, fmt.Errorf("dsp: unknown document %q", docID)
 	}
@@ -85,9 +157,10 @@ func (s *MemStore) Header(docID string) (docenc.Header, error) {
 
 // ReadBlock implements Store.
 func (s *MemStore) ReadBlock(docID string, idx int) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.docs[docID]
+	sh := s.shard(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.docs[docID]
 	if !ok {
 		return nil, fmt.Errorf("dsp: unknown document %q", docID)
 	}
@@ -97,6 +170,26 @@ func (s *MemStore) ReadBlock(docID string, idx int) ([]byte, error) {
 	return c.Blocks[idx], nil
 }
 
+// ReadBlocks implements BlockRangeReader under one lock acquisition.
+func (s *MemStore) ReadBlocks(docID string, start, count int) ([][]byte, error) {
+	sh := s.shard(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.docs[docID]
+	if !ok {
+		return nil, fmt.Errorf("dsp: unknown document %q", docID)
+	}
+	// Bounds are checked without computing start+count, which a hostile
+	// wire request can overflow.
+	if start < 0 || count < 0 || start > len(c.Blocks) || count > len(c.Blocks)-start {
+		return nil, fmt.Errorf("dsp: block range [%d,+%d) out of range [0,%d) for %q",
+			start, count, len(c.Blocks), docID)
+	}
+	out := make([][]byte, count)
+	copy(out, c.Blocks[start:start+count])
+	return out, nil
+}
+
 // PutRuleSet implements Store. The store keeps only the latest version it
 // has seen; an honest store thereby serves fresh rights, and a malicious
 // one replaying old blobs is caught by the card's version check, not here.
@@ -104,21 +197,23 @@ func (s *MemStore) PutRuleSet(docID, subject string, version uint32, sealed []by
 	if subject == "" {
 		return fmt.Errorf("dsp: rule set without subject")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	sh := s.shard(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	k := docID + "\x00" + subject
-	if cur, ok := s.rules[k]; ok && cur.version > version {
+	if cur, ok := sh.rules[k]; ok && cur.version > version {
 		return fmt.Errorf("dsp: rule set version %d older than stored %d", version, cur.version)
 	}
-	s.rules[k] = ruleEntry{version: version, sealed: append([]byte(nil), sealed...)}
+	sh.rules[k] = ruleEntry{version: version, sealed: append([]byte(nil), sealed...)}
 	return nil
 }
 
 // RuleSet implements Store.
 func (s *MemStore) RuleSet(docID, subject string) ([]byte, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.rules[docID+"\x00"+subject]
+	sh := s.shard(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	e, ok := sh.rules[docID+"\x00"+subject]
 	if !ok {
 		return nil, fmt.Errorf("dsp: no rule set for subject %q on document %q", subject, docID)
 	}
@@ -127,11 +222,14 @@ func (s *MemStore) RuleSet(docID, subject string) ([]byte, error) {
 
 // ListDocuments implements Store.
 func (s *MemStore) ListDocuments() ([]string, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.docs))
-	for id := range s.docs {
-		out = append(out, id)
+	var out []string
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for id := range sh.docs {
+			out = append(out, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out, nil
@@ -140,9 +238,10 @@ func (s *MemStore) ListDocuments() ([]string, error) {
 // Tamper flips a byte of a stored block: the adversarial store used by
 // integrity tests. It returns an error if the target does not exist.
 func (s *MemStore) Tamper(docID string, blockIdx, byteIdx int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.docs[docID]
+	sh := s.shard(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.docs[docID]
 	if !ok {
 		return fmt.Errorf("dsp: unknown document %q", docID)
 	}
@@ -160,9 +259,10 @@ func (s *MemStore) Tamper(docID string, blockIdx, byteIdx int) error {
 
 // SwapBlocks exchanges two stored blocks (substitution attack).
 func (s *MemStore) SwapBlocks(docID string, i, j int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c, ok := s.docs[docID]
+	sh := s.shard(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.docs[docID]
 	if !ok {
 		return fmt.Errorf("dsp: unknown document %q", docID)
 	}
@@ -173,4 +273,7 @@ func (s *MemStore) SwapBlocks(docID string, i, j int) error {
 	return nil
 }
 
-var _ Store = (*MemStore)(nil)
+var (
+	_ Store            = (*MemStore)(nil)
+	_ BlockRangeReader = (*MemStore)(nil)
+)

@@ -17,7 +17,18 @@ const (
 	opPutRuleSet  = 4
 	opRuleSet     = 5
 	opList        = 6
+	// opReadBlocks fetches a contiguous run of blocks in one round trip:
+	// request is docID, start, count; response body is count
+	// length-prefixed blocks.
+	opReadBlocks = 7
 )
+
+// maxBatchBlocks bounds one opReadBlocks run: large enough for any skip
+// run the encoder emits, small enough that a hostile count cannot make
+// the server stage an absurd response. (The assembled response is
+// additionally checked against maxFrame at dispatch, since block sizes
+// vary.)
+const maxBatchBlocks = 1 << 16
 
 const (
 	statusOK  = 0
@@ -98,7 +109,9 @@ func (r *wireReader) bytes() []byte {
 	if r.err != nil {
 		return nil
 	}
-	if r.pos+int(l) > len(r.data) {
+	// Compare in uint64 space: a hostile length would overflow int and
+	// slip past an int comparison into a slice panic.
+	if l > uint64(len(r.data)-r.pos) {
 		r.err = fmt.Errorf("dsp: truncated field at offset %d", r.pos)
 		return nil
 	}

@@ -1,0 +1,219 @@
+package dsp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frames")
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("round trip changed payload: %q", got)
+	}
+	// Empty payloads are legal frames.
+	buf.Reset()
+	if err := writeFrame(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := readFrame(&buf); err != nil || len(got) != 0 {
+		t.Errorf("empty frame = %q, %v", got, err)
+	}
+}
+
+func TestWriteFrameRejectsOversize(t *testing.T) {
+	err := writeFrame(io.Discard, make([]byte, maxFrame+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame written: %v", err)
+	}
+}
+
+func TestReadFrameRejectsHostileLength(t *testing.T) {
+	// A hostile length prefix must be rejected before any allocation.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], maxFrame+1)
+	_, err := readFrame(bytes.NewReader(hdr[:]))
+	if err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("hostile length accepted: %v", err)
+	}
+}
+
+func TestReadFrameTruncatedHeader(t *testing.T) {
+	_, err := readFrame(bytes.NewReader([]byte{0, 0}))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated header: %v", err)
+	}
+	_, err = readFrame(bytes.NewReader(nil))
+	if !errors.Is(err, io.EOF) {
+		t.Fatalf("missing header: %v", err)
+	}
+}
+
+func TestReadFrameTruncatedPayload(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 10)
+	_, err := readFrame(bytes.NewReader(append(hdr[:], 1, 2, 3)))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+func TestWireReaderTruncation(t *testing.T) {
+	r := &wireReader{data: nil}
+	r.uvarint()
+	if r.err == nil {
+		t.Error("uvarint on empty input succeeded")
+	}
+	// A field whose declared length exceeds the remaining bytes.
+	r = &wireReader{data: binary.AppendUvarint(nil, 100)}
+	r.bytes()
+	if r.err == nil {
+		t.Error("overlong field served")
+	}
+}
+
+func TestDispatchMalformedRequests(t *testing.T) {
+	srv := NewServer(NewMemStore())
+	cases := []struct {
+		name string
+		req  []byte
+	}{
+		{"empty request", nil},
+		{"unknown op", []byte{99}},
+		{"truncated header request", []byte{opHeader}},
+		{"truncated read request", appendString([]byte{opReadBlock}, "doc")},
+		{"oversized batch count", func() []byte {
+			req := appendString([]byte{opReadBlocks}, "doc")
+			req = binary.AppendUvarint(req, 0)
+			return binary.AppendUvarint(req, maxBatchBlocks+1)
+		}()},
+		{"hostile field length", func() []byte {
+			// docID length declared as 2^63: must be rejected in uint64
+			// space, not wrapped through int into a slice panic.
+			return binary.AppendUvarint([]byte{opHeader}, 1<<63)
+		}()},
+		{"hostile batch offset", func() []byte {
+			// start chosen so that start+count overflows int64: the
+			// bounds check must reject it, not panic on a wrapped slice.
+			req := appendString([]byte{opReadBlocks}, "doc")
+			req = binary.AppendUvarint(req, math.MaxInt64)
+			return binary.AppendUvarint(req, 1)
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := srv.dispatch(tc.req)
+			if len(resp) == 0 || resp[0] != statusErr {
+				t.Errorf("dispatch(%v) = %v, want error status", tc.req, resp)
+			}
+		})
+	}
+}
+
+// TestErrorStatusRoundTrip checks that a server-side error crosses the
+// wire as a typed ServerError carrying the message.
+func TestErrorStatusRoundTrip(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(NewMemStore())
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	client, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	_, err = client.Header("missing-doc")
+	var srvErr ServerError
+	if !errors.As(err, &srvErr) {
+		t.Fatalf("want ServerError, got %T %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "missing-doc") {
+		t.Errorf("error lost the server message: %v", err)
+	}
+	// The connection stays synchronized after a server error.
+	if _, err := client.ListDocuments(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientRejectsBadStatus drives the client against a fake server that
+// answers with an unknown status byte.
+func TestClientRejectsBadStatus(t *testing.T) {
+	clientSide, serverSide := net.Pipe()
+	defer serverSide.Close()
+	go func() {
+		if _, err := readFrame(serverSide); err != nil {
+			return
+		}
+		_ = writeFrame(serverSide, []byte{42})
+	}()
+	c := &Client{conn: clientSide}
+	defer c.Close()
+	_, err := c.ListDocuments()
+	if err == nil || !strings.Contains(err.Error(), "bad response status") {
+		t.Fatalf("bad status accepted: %v", err)
+	}
+}
+
+// TestPipelinedResponsesStayOrdered sends several raw frames back to back
+// on one connection before reading anything: the server must answer them
+// in request order even though they execute on a worker pool.
+func TestPipelinedResponsesStayOrdered(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	c := testContainer(t, "doc")
+	if err := store.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServerConfig(store, ServerConfig{Workers: 8, PipelineDepth: 16})
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		req := appendString([]byte{opReadBlock}, "doc")
+		req = binary.AppendUvarint(req, uint64(i%len(c.Blocks)))
+		if err := writeFrame(conn, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		resp, err := readFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp) == 0 || resp[0] != statusOK {
+			t.Fatalf("response %d: status %v", i, resp[:1])
+		}
+		want := c.Blocks[i%len(c.Blocks)]
+		if !bytes.Equal(resp[1:], want) {
+			t.Fatalf("response %d out of order", i)
+		}
+	}
+}

@@ -62,6 +62,19 @@ type (
 	CardProfile = card.Profile
 	// Store is the untrusted document store (DSP).
 	Store = dsp.Store
+	// StoreCache is an LRU block cache in front of a Store, with
+	// hit/miss counters (dsp.Cache).
+	StoreCache = dsp.Cache
+	// CacheStats is a snapshot of a StoreCache's counters.
+	CacheStats = dsp.CacheStats
+	// StorePool is a fixed-size pool of connections to a dspd server;
+	// it implements Store for concurrent fan-out.
+	StorePool = dsp.Pool
+	// StoreServer serves a Store over TCP with per-connection request
+	// pipelining and a bounded worker pool.
+	StoreServer = dsp.Server
+	// StoreServerConfig tunes a StoreServer's concurrency.
+	StoreServerConfig = dsp.ServerConfig
 	// Terminal orchestrates pull queries for one card.
 	Terminal = proxy.Terminal
 	// Publisher encodes and uploads documents and rule sets.
@@ -125,11 +138,37 @@ func NewKey() (Key, error) { return secure.NewDocKey() }
 // KeyFromSeed derives a deterministic key (tests, reproducible demos).
 func KeyFromSeed(seed string) Key { return secure.KeyFromSeed(seed) }
 
-// NewMemStore returns an in-process untrusted store.
+// NewMemStore returns an in-process untrusted store (sharded for
+// concurrent access).
 func NewMemStore() *dsp.MemStore { return dsp.NewMemStore() }
 
-// DialStore connects to a dspd server.
+// NewStoreCache fronts a store with an LRU block cache holding at most
+// maxBytes of encrypted blocks (<= 0 selects the default budget).
+func NewStoreCache(s Store, maxBytes int64) *StoreCache { return dsp.NewCache(s, maxBytes) }
+
+// NewStoreServer wraps a store in a TCP server (see cmd/dspd for the
+// ready-made daemon).
+func NewStoreServer(s Store) *StoreServer { return dsp.NewServer(s) }
+
+// NewStoreServerConfig wraps a store in a TCP server with explicit
+// concurrency tuning.
+func NewStoreServerConfig(s Store, cfg StoreServerConfig) *StoreServer {
+	return dsp.NewServerConfig(s, cfg)
+}
+
+// DialStore connects to a dspd server over one connection.
 func DialStore(addr string) (*dsp.Client, error) { return dsp.Dial(addr) }
+
+// DialStorePool connects size pooled connections to a dspd server so
+// many goroutines can fan out over one shared Store (<= 0 selects the
+// default size).
+func DialStorePool(addr string, size int) (*StorePool, error) { return dsp.DialPool(addr, size) }
+
+// ReadBlockRange fetches a contiguous run of blocks, in one round trip
+// when the store supports batched reads and block-by-block otherwise.
+func ReadBlockRange(s Store, docID string, start, count int) ([][]byte, error) {
+	return dsp.ReadBlockRange(s, docID, start, count)
+}
 
 // NewCard returns a provisionable simulated card.
 func NewCard(profile CardProfile) *Card { return card.New(profile) }
