@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: build test bench fmt vet ci
+.PHONY: build test bench fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -24,5 +25,14 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+## staticcheck: deeper static analysis (skipped with a note when the
+## tool is not installed; CI installs it)
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2025.1.1, the version CI pins)"; \
+	fi
+
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet build test bench
+ci: fmt vet staticcheck build test bench

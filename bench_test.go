@@ -1,6 +1,6 @@
 package sds
 
-// One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E9). Each
+// One testing.B benchmark per experiment of EXPERIMENTS.md (E1–E10). Each
 // measures the experiment's hot kernel and reports the experiment's
 // headline quantity as a custom metric; cmd/sdsbench prints the full
 // tables the experiments produce.
@@ -210,6 +210,33 @@ func BenchmarkE8DynamicRules(b *testing.B) {
 		ratio = float64(baseline) / float64(ours)
 	}
 	b.ReportMetric(ratio, "baseline/ours-bytes")
+}
+
+// BenchmarkE10PipelinedGateway measures the card-fleet gateway with
+// prefetching terminals under 4 concurrent subjects over loopback TCP
+// and reports aggregate queries per second.
+func BenchmarkE10PipelinedGateway(b *testing.B) {
+	rig, err := bench.NewE10Rig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rig.Close()
+	const subjects = 4
+	g, pool, err := rig.Gateway(subjects, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	defer g.Close()
+	var qps float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qps, _, err = rig.Hammer(g, subjects, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(qps, "queries/s")
 }
 
 // BenchmarkE9ConcurrentDSP measures the scaled DSP (sharded store, LRU

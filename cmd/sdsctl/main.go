@@ -10,7 +10,7 @@
 //
 //	publish  -doc ID -in FILE -seed SEED       encrypt & upload an XML file
 //	grant    -doc ID -seed SEED -rules FILE    seal & upload a rule set
-//	query    -doc ID -seed SEED -subject S [-query XPATH] [-noskip]
+//	query    -doc ID -seed SEED -subject S [-query XPATH] [-noskip] [-prefetch K]
 //	ls                                         list stored documents
 //
 // The document key is derived from -seed (a stand-in for the PKI
@@ -115,6 +115,8 @@ func main() {
 		subject := fs.String("subject", "", "subject")
 		query := fs.String("query", "", "XPath query (optional)")
 		noskip := fs.Bool("noskip", false, "disable the skip index")
+		prefetch := fs.Int("prefetch", 0,
+			"prefetching pipeline depth in blocks (0 = serial one-block round trips)")
 		_ = fs.Parse(args)
 		requireAll(map[string]string{"doc": *docID, "seed": *seed, "subject": *subject})
 		c := card.New(cardProfile(*profile))
@@ -122,7 +124,7 @@ func main() {
 			log.Fatal(err)
 		}
 		term := &proxy.Terminal{Store: store, Card: c,
-			Options: soe.Options{DisableSkip: *noskip}}
+			Options: soe.Options{DisableSkip: *noskip}, Prefetch: *prefetch}
 		if err := term.InstallRules(*subject, *docID); err != nil {
 			log.Fatal(err)
 		}
@@ -132,8 +134,8 @@ func main() {
 		}
 		fmt.Println(res.XML())
 		fmt.Fprintf(os.Stderr,
-			"blocks %d/%d, skipped %d subtrees, card RAM peak %dB, simulated %s time %v\n",
-			res.Stats.BlocksFetched, res.Stats.BlocksTotal,
+			"blocks %d/%d (%d speculative wasted), skipped %d subtrees, card RAM peak %dB, simulated %s time %v\n",
+			res.Stats.BlocksFetched, res.Stats.BlocksTotal, res.Stats.BlocksWasted,
 			res.Stats.Session.Core.SkippedSubtrees, res.Stats.Session.RAMPeak,
 			cardProfile(*profile).Name, res.Stats.Time.Total().Round(1e6))
 

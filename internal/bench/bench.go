@@ -105,5 +105,6 @@ func All() []Experiment {
 		{"E7", "selective dissemination throughput", E7Dissemination},
 		{"E8", "dynamic rule changes vs re-encryption", E8DynamicRules},
 		{"E9", "concurrent DSP throughput", E9ConcurrentDSP},
+		{"E10", "pipelined pull & card-fleet gateway", E10Pipeline},
 	}
 }

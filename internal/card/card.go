@@ -23,6 +23,7 @@ package card
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/accessrule"
@@ -136,6 +137,22 @@ func (m *Meter) Add(o Meter) {
 	m.EEPROMBytes += o.EEPROMBytes
 }
 
+// Sub returns the field-wise difference m - o: the work performed since
+// the snapshot o was taken (per-query deltas in proxy and dissem).
+func (m Meter) Sub(o Meter) Meter {
+	return Meter{
+		BytesToCard:   m.BytesToCard - o.BytesToCard,
+		BytesFromCard: m.BytesFromCard - o.BytesFromCard,
+		APDUs:         m.APDUs - o.APDUs,
+		CryptoBytes:   m.CryptoBytes - o.CryptoBytes,
+		MACBytes:      m.MACBytes - o.MACBytes,
+		Events:        m.Events - o.Events,
+		Transitions:   m.Transitions - o.Transitions,
+		CopyBytes:     m.CopyBytes - o.CopyBytes,
+		EEPROMBytes:   m.EEPROMBytes - o.EEPROMBytes,
+	}
+}
+
 // TimeBreakdown is a simulated elapsed-time decomposition.
 type TimeBreakdown struct {
 	Transfer time.Duration // link transmission
@@ -172,12 +189,22 @@ func (m Meter) Price(p Profile) TimeBreakdown {
 }
 
 // Card is one simulated device: budgets, meter and provisioned secrets.
+//
+// Provisioning calls (PutKey, PutRuleSet, PutSealedRuleSet, Key,
+// RuleSet, RuleVersion) may race each other from multiple goroutines;
+// the internal mutex keeps the secret store and their meter/EEPROM
+// accounting consistent. The card still models a single-threaded
+// applet, so nothing may run concurrently with a live session on the
+// same card — not even provisioning: sessions touch the Meter and the
+// RAM/EEPROM gauges without the lock. The fleet gateway enforces this
+// by holding the per-card lock across both provisioning and queries.
 type Card struct {
 	Profile Profile
 	RAM     *mem.Tracking
 	EEPROM  *mem.Tracking
 	Meter   Meter
 
+	mu       sync.Mutex // guards keys and rulesets
 	keys     map[string]secure.DocKey
 	rulesets map[string]*storedRuleSet
 }
@@ -204,6 +231,8 @@ func New(p Profile) *Card {
 // (trusted server, license provider, ...)" (Section 2.1); the simulator
 // models the result, not the channel.
 func (c *Card) PutKey(docID string, key secure.DocKey) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if _, ok := c.keys[docID]; !ok {
 		if err := c.EEPROM.Alloc(48 + len(docID)); err != nil {
 			return fmt.Errorf("card: key store: %w", err)
@@ -216,11 +245,22 @@ func (c *Card) PutKey(docID string, key secure.DocKey) error {
 
 // Key fetches a provisioned key.
 func (c *Card) Key(docID string) (secure.DocKey, error) {
+	c.mu.Lock()
 	k, ok := c.keys[docID]
+	c.mu.Unlock()
 	if !ok {
 		return secure.DocKey{}, fmt.Errorf("card: no key for document %q", docID)
 	}
 	return k, nil
+}
+
+// HasKey reports whether a key is provisioned for docID without the
+// error allocation of Key (fleet provisioning checks).
+func (c *Card) HasKey(docID string) bool {
+	c.mu.Lock()
+	_, ok := c.keys[docID]
+	c.mu.Unlock()
+	return ok
 }
 
 // PutRuleSet installs a subject's rule set for a document, enforcing
@@ -231,6 +271,8 @@ func (c *Card) PutRuleSet(rs *accessrule.RuleSet) error {
 	if err := rs.Validate(); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	key := rs.Subject + "\x00" + rs.DocID
 	old := c.rulesets[key]
 	if old != nil && rs.Version < old.rs.Version {
@@ -268,8 +310,10 @@ func (c *Card) PutSealedRuleSet(docID, subject string, sealed []byte) error {
 	if err != nil {
 		return fmt.Errorf("card: unsealing rule set: %w", err)
 	}
+	c.mu.Lock()
 	c.Meter.CryptoBytes += int64(len(plain))
 	c.Meter.MACBytes += int64(len(plain))
+	c.mu.Unlock()
 	rs, err := accessrule.UnmarshalRuleSet(plain)
 	if err != nil {
 		return err
@@ -290,6 +334,8 @@ func RuleBlobNamespace(docID, subject string) string {
 // RuleSet fetches the installed set for (subject, doc), falling back to
 // the subject's document-independent set.
 func (c *Card) RuleSet(subject, docID string) (*accessrule.RuleSet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if s, ok := c.rulesets[subject+"\x00"+docID]; ok {
 		return s.rs, nil
 	}
@@ -297,4 +343,19 @@ func (c *Card) RuleSet(subject, docID string) (*accessrule.RuleSet, error) {
 		return s.rs, nil
 	}
 	return nil, fmt.Errorf("card: no rule set installed for subject %q on document %q", subject, docID)
+}
+
+// RuleVersion reports the version of the installed rule set for
+// (subject, doc), or -1 when none is installed — the fleet's cheap
+// freshness check before deciding to re-pull the sealed blob.
+func (c *Card) RuleVersion(subject, docID string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.rulesets[subject+"\x00"+docID]; ok {
+		return int64(s.rs.Version)
+	}
+	if s, ok := c.rulesets[subject+"\x00"]; ok {
+		return int64(s.rs.Version)
+	}
+	return -1
 }

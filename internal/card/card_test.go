@@ -174,3 +174,41 @@ func TestEEPROMBudgetEnforced(t *testing.T) {
 		t.Error("oversized rule set must exhaust the EEPROM budget")
 	}
 }
+
+func TestMeterSub(t *testing.T) {
+	before := Meter{BytesToCard: 10, APDUs: 2, CryptoBytes: 100, Events: 5}
+	after := before
+	after.Add(Meter{
+		BytesToCard: 7, BytesFromCard: 3, APDUs: 1, CryptoBytes: 64,
+		MACBytes: 64, Events: 9, Transitions: 40, CopyBytes: 12, EEPROMBytes: 6,
+	})
+	d := after.Sub(before)
+	want := Meter{
+		BytesToCard: 7, BytesFromCard: 3, APDUs: 1, CryptoBytes: 64,
+		MACBytes: 64, Events: 9, Transitions: 40, CopyBytes: 12, EEPROMBytes: 6,
+	}
+	if d != want {
+		t.Fatalf("Sub delta = %+v, want %+v", d, want)
+	}
+	// Sub inverts Add: (m + o) - o == m for every field.
+	if back := after.Sub(d); back != before {
+		t.Fatalf("Sub does not invert Add: %+v != %+v", back, before)
+	}
+	if zero := before.Sub(before); zero != (Meter{}) {
+		t.Fatalf("self-difference must be zero, got %+v", zero)
+	}
+}
+
+func TestRuleVersion(t *testing.T) {
+	c := New(Modern)
+	if got := c.RuleVersion("u", "d"); got != -1 {
+		t.Fatalf("unprovisioned RuleVersion = %d, want -1", got)
+	}
+	rs := ruleSet("u", "d", 3)
+	if err := c.PutRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.RuleVersion("u", "d"); got != 3 {
+		t.Fatalf("RuleVersion = %d, want 3", got)
+	}
+}

@@ -12,6 +12,8 @@ package dissem
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/card"
 	"repro/internal/docenc"
@@ -110,7 +112,7 @@ func (s *Subscriber) finish() (*Reception, error) {
 		BlocksForwarded: s.BlocksForwarded,
 		Session:         s.sess.Stats(),
 	}
-	r.Meter = meterDelta(s.meterBefore, s.Card.Meter)
+	r.Meter = s.Card.Meter.Sub(s.meterBefore)
 	r.Time = r.Meter.Price(s.Card.Profile)
 	return r, nil
 }
@@ -119,78 +121,72 @@ func (s *Subscriber) finish() (*Reception, error) {
 // block order, with no back-channel — the "unsecured channel" of the
 // demo: any number of devices may listen; only provisioned cards can
 // decrypt, and each delivers only its subject's authorized view.
+//
+// Subscribers are independent devices, so they are served concurrently:
+// each runs its own session over the shared block sequence on its own
+// goroutine (bounded by GOMAXPROCS), which is what lets one publisher
+// feed a large audience at the speed of the slowest card rather than
+// the sum of all of them.
 func Broadcast(container *docenc.Container, subject string, subs []*Subscriber) ([]*Reception, error) {
-	hdrBytes, err := container.Header.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	for _, s := range subs {
-		if err := s.begin(subject, container.Header.DocID, hdrBytes); err != nil {
-			return nil, fmt.Errorf("dissem: subscriber %s: %w", s.Name, err)
-		}
-	}
-	for idx, blk := range container.Blocks {
-		for _, s := range subs {
-			if err := s.offer(idx, blk); err != nil {
-				return nil, fmt.Errorf("dissem: subscriber %s at block %d: %w", s.Name, idx, err)
-			}
-		}
-	}
-	out := make([]*Reception, 0, len(subs))
-	for _, s := range subs {
-		r, err := s.finish()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return broadcast(container, subs, func(*Subscriber) (string, error) { return subject, nil })
 }
 
 // BroadcastPerSubject runs Broadcast with per-subscriber subjects (each
 // card filters under its own identity).
 func BroadcastPerSubject(container *docenc.Container, subjects map[string]string, subs []*Subscriber) ([]*Reception, error) {
+	return broadcast(container, subs, func(s *Subscriber) (string, error) {
+		subject, ok := subjects[s.Name]
+		if !ok {
+			return "", fmt.Errorf("dissem: no subject for subscriber %s", s.Name)
+		}
+		return subject, nil
+	})
+}
+
+// broadcast is the shared implementation: subjectFor picks each
+// subscriber's filtering identity.
+func broadcast(container *docenc.Container, subs []*Subscriber, subjectFor func(*Subscriber) (string, error)) ([]*Reception, error) {
 	hdrBytes, err := container.Header.MarshalBinary()
 	if err != nil {
 		return nil, err
 	}
-	for _, s := range subs {
-		subject, ok := subjects[s.Name]
-		if !ok {
-			return nil, fmt.Errorf("dissem: no subject for subscriber %s", s.Name)
-		}
-		if err := s.begin(subject, container.Header.DocID, hdrBytes); err != nil {
-			return nil, fmt.Errorf("dissem: subscriber %s: %w", s.Name, err)
-		}
+
+	out := make([]*Reception, len(subs))
+	errs := make([]error, len(subs))
+	sem := make(chan struct{}, max(1, runtime.GOMAXPROCS(0)))
+	var wg sync.WaitGroup
+	for i, s := range subs {
+		wg.Add(1)
+		go func(i int, s *Subscriber) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = s.receive(container, hdrBytes, subjectFor)
+		}(i, s)
 	}
-	for idx, blk := range container.Blocks {
-		for _, s := range subs {
-			if err := s.offer(idx, blk); err != nil {
-				return nil, fmt.Errorf("dissem: subscriber %s at block %d: %w", s.Name, idx, err)
-			}
-		}
-	}
-	out := make([]*Reception, 0, len(subs))
-	for _, s := range subs {
-		r, err := s.finish()
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, r)
 	}
 	return out, nil
 }
 
-func meterDelta(before, after card.Meter) card.Meter {
-	return card.Meter{
-		BytesToCard:   after.BytesToCard - before.BytesToCard,
-		BytesFromCard: after.BytesFromCard - before.BytesFromCard,
-		APDUs:         after.APDUs - before.APDUs,
-		CryptoBytes:   after.CryptoBytes - before.CryptoBytes,
-		MACBytes:      after.MACBytes - before.MACBytes,
-		Events:        after.Events - before.Events,
-		Transitions:   after.Transitions - before.Transitions,
-		CopyBytes:     after.CopyBytes - before.CopyBytes,
-		EEPROMBytes:   after.EEPROMBytes - before.EEPROMBytes,
+// receive drives one subscriber through a whole broadcast: session
+// start, the block sequence in order, assembly.
+func (s *Subscriber) receive(container *docenc.Container, hdrBytes []byte, subjectFor func(*Subscriber) (string, error)) (*Reception, error) {
+	subject, err := subjectFor(s)
+	if err != nil {
+		return nil, err
 	}
+	if err := s.begin(subject, container.Header.DocID, hdrBytes); err != nil {
+		return nil, fmt.Errorf("dissem: subscriber %s: %w", s.Name, err)
+	}
+	for idx, blk := range container.Blocks {
+		if err := s.offer(idx, blk); err != nil {
+			return nil, fmt.Errorf("dissem: subscriber %s at block %d: %w", s.Name, idx, err)
+		}
+	}
+	return s.finish()
 }

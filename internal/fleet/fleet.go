@@ -1,0 +1,294 @@
+// Package fleet implements the card-fleet gateway: the multi-tenant
+// trusted tier the paper's architecture implies but the demonstration
+// never built. The deployment model is "one SOE per client, untrusted
+// store shared by all" (Section 3); a portal serving many subjects
+// therefore fronts a fleet of Secure Operating Environments — one
+// provisioned card per subject — behind a single admission point.
+//
+// The Gateway owns that fleet. It admits concurrent Query calls under a
+// bounded concurrency budget, provisions cards on demand (document key
+// from the deployment's key source, sealed rule set pulled from the
+// untrusted store and installed under the card's own version check),
+// caches the provisioned card per subject, and aggregates per-subject
+// work meters. Each card models a single-threaded applet, so the
+// gateway enforces single-session ownership: queries for one subject
+// serialize on that subject's card while different subjects proceed in
+// parallel.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/card"
+	"repro/internal/dsp"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/soe"
+)
+
+// KeySource hands the gateway the decryption key of a document — the
+// stand-in for the PKI/licensing channel that delivers keys "via a
+// secure channel from different sources" (Section 2.1). pki.Exchange or
+// secure.KeyFromSeed both adapt naturally.
+type KeySource func(docID string) (secure.DocKey, error)
+
+// FixedKeys adapts a static docID→key table into a KeySource.
+func FixedKeys(keys map[string]secure.DocKey) KeySource {
+	return func(docID string) (secure.DocKey, error) {
+		k, ok := keys[docID]
+		if !ok {
+			return secure.DocKey{}, fmt.Errorf("fleet: no key available for document %q", docID)
+		}
+		return k, nil
+	}
+}
+
+// Config assembles a Gateway.
+type Config struct {
+	// Store is the shared untrusted DSP tier (a MemStore, Cache, Client
+	// or Pool — anything implementing dsp.Store).
+	Store dsp.Store
+	// Keys resolves document keys during provisioning.
+	Keys KeySource
+	// Profile is the hardware model of every fleet card. The zero value
+	// selects card.Modern (a portal simulates contemporary secure
+	// elements, not 2005 e-gates, unless asked otherwise).
+	Profile card.Profile
+	// MaxConcurrent bounds the queries admitted at once across all
+	// subjects; <= 0 selects 2×GOMAXPROCS.
+	MaxConcurrent int
+	// Prefetch is the terminal pipeline depth used for fleet queries
+	// (see proxy.Terminal.Prefetch); 0 keeps the serial pull path.
+	Prefetch int
+	// Options passes ablation switches through to every session.
+	Options soe.Options
+}
+
+// Gateway serves concurrent pull queries for many subjects over one
+// shared store.
+type Gateway struct {
+	cfg    Config
+	admit  chan struct{}
+	mu     sync.Mutex
+	cards  map[string]*tenant
+	closed bool
+}
+
+// tenant is one subject's slot in the fleet: a provisioned card, the
+// session lock that enforces single-session ownership, and the
+// aggregated meters.
+type tenant struct {
+	mu   sync.Mutex // serializes sessions and provisioning on the card
+	card *card.Card
+
+	// provisioned records the documents this card holds key+rules for.
+	provisioned map[string]bool
+
+	stats SubjectStats
+}
+
+// SubjectStats aggregates one subject's fleet usage.
+type SubjectStats struct {
+	Subject string
+	Queries int64
+	// Errors counts queries that failed after admission.
+	Errors int64
+	// BlocksFetched / BlocksWasted aggregate the terminal-side transfer.
+	BlocksFetched int64
+	BlocksWasted  int64
+	// Meter is the summed card work across the subject's queries.
+	Meter card.Meter
+}
+
+// New builds a Gateway. Store and Keys are required.
+func New(cfg Config) (*Gateway, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: config needs a store")
+	}
+	if cfg.Keys == nil {
+		return nil, fmt.Errorf("fleet: config needs a key source")
+	}
+	if cfg.Profile.Name == "" {
+		cfg.Profile = card.Modern
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	return &Gateway{
+		cfg:   cfg,
+		admit: make(chan struct{}, cfg.MaxConcurrent),
+		cards: make(map[string]*tenant),
+	}, nil
+}
+
+// Query runs one pull query for subject over doc, provisioning the
+// subject's card on first use. Calls for distinct subjects run in
+// parallel up to the admission bound; calls for one subject serialize
+// on that subject's card.
+func (g *Gateway) Query(subject, docID, query string) (*proxy.Result, error) {
+	tn, err := g.tenant(subject)
+	if err != nil {
+		return nil, err
+	}
+	// Take the card before the admission slot: queries queued behind a
+	// hot subject's single card must not hold admission capacity, or one
+	// busy tenant would serialize the whole gateway.
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	g.admit <- struct{}{}
+	defer func() { <-g.admit }()
+
+	if err := g.provisionLocked(tn, subject, docID); err != nil {
+		tn.stats.Errors++
+		return nil, err
+	}
+	term := &proxy.Terminal{
+		Store:    g.cfg.Store,
+		Card:     tn.card,
+		Options:  g.cfg.Options,
+		Prefetch: g.cfg.Prefetch,
+	}
+	res, err := term.Query(subject, docID, query)
+	if err != nil {
+		tn.stats.Errors++
+		return nil, err
+	}
+	tn.stats.Queries++
+	tn.stats.BlocksFetched += int64(res.Stats.BlocksFetched)
+	tn.stats.BlocksWasted += int64(res.Stats.BlocksWasted)
+	tn.stats.Meter.Add(res.Stats.Meter)
+	return res, nil
+}
+
+// tenant returns (creating if needed) the subject's fleet slot.
+func (g *Gateway) tenant(subject string) (*tenant, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, fmt.Errorf("fleet: gateway is closed")
+	}
+	tn, ok := g.cards[subject]
+	if !ok {
+		tn = &tenant{
+			card:        card.New(g.cfg.Profile),
+			provisioned: make(map[string]bool),
+		}
+		tn.stats.Subject = subject
+		g.cards[subject] = tn
+	}
+	return tn, nil
+}
+
+// provisionLocked installs the document key and the subject's sealed
+// rule set on the tenant's card, once per (subject, doc). The caller
+// holds the tenant lock.
+func (g *Gateway) provisionLocked(tn *tenant, subject, docID string) error {
+	if tn.provisioned[docID] {
+		return nil
+	}
+	key, err := g.cfg.Keys(docID)
+	if err != nil {
+		return err
+	}
+	if err := tn.card.PutKey(docID, key); err != nil {
+		return err
+	}
+	if err := g.installRulesLocked(tn, subject, docID); err != nil {
+		return err
+	}
+	tn.provisioned[docID] = true
+	return nil
+}
+
+// installRulesLocked pulls the subject's sealed rule set from the store
+// and installs it; the card's version monotonicity rejects rollbacks, so
+// a malicious or stale store cannot downgrade rights that are already
+// provisioned.
+func (g *Gateway) installRulesLocked(tn *tenant, subject, docID string) error {
+	sealed, err := g.cfg.Store.RuleSet(docID, subject)
+	if err != nil {
+		return err
+	}
+	return tn.card.PutSealedRuleSet(docID, subject, sealed)
+}
+
+// RefreshRules re-pulls the subject's sealed rule set for doc — the
+// access-rights update protocol at fleet scale. The card accepts the
+// blob only if its version is not older than what is installed, so
+// refreshing is always safe to call. An unprovisioned (subject, doc)
+// pair refuses (a refresh is not an implicit grant of a key).
+func (g *Gateway) RefreshRules(subject, docID string) error {
+	tn, err := g.tenant(subject)
+	if err != nil {
+		return err
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	if !tn.provisioned[docID] {
+		return fmt.Errorf("fleet: subject %q is not provisioned for document %q", subject, docID)
+	}
+	return g.installRulesLocked(tn, subject, docID)
+}
+
+// RuleVersion reports the rule-set version installed for (subject, doc),
+// -1 when the subject has no card or rules yet (freshness probes).
+func (g *Gateway) RuleVersion(subject, docID string) int64 {
+	g.mu.Lock()
+	tn, ok := g.cards[subject]
+	g.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	return tn.card.RuleVersion(subject, docID)
+}
+
+// Stats snapshots every subject's aggregated usage, sorted by subject
+// for stable reporting.
+func (g *Gateway) Stats() []SubjectStats {
+	g.mu.Lock()
+	tenants := make([]*tenant, 0, len(g.cards))
+	for _, tn := range g.cards {
+		tenants = append(tenants, tn)
+	}
+	g.mu.Unlock()
+	out := make([]SubjectStats, 0, len(tenants))
+	for _, tn := range tenants {
+		tn.mu.Lock()
+		out = append(out, tn.stats)
+		tn.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
+	return out
+}
+
+// SubjectStats snapshots one subject's aggregated usage (zero value when
+// the subject never queried).
+func (g *Gateway) SubjectStats(subject string) SubjectStats {
+	g.mu.Lock()
+	tn, ok := g.cards[subject]
+	g.mu.Unlock()
+	if !ok {
+		return SubjectStats{Subject: subject}
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	return tn.stats
+}
+
+// Subjects reports how many cards the fleet currently holds.
+func (g *Gateway) Subjects() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.cards)
+}
+
+// Close drops the fleet. In-flight queries finish; new ones are refused.
+func (g *Gateway) Close() {
+	g.mu.Lock()
+	g.closed = true
+	g.cards = make(map[string]*tenant)
+	g.mu.Unlock()
+}

@@ -1,0 +1,232 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/workload"
+)
+
+// testWorld publishes a few documents with per-subject rule sets and
+// returns the store, the key table, and the serial-terminal oracle
+// output for every (subject, doc, query) combination.
+type testWorld struct {
+	store    *dsp.MemStore
+	keys     map[string]secure.DocKey
+	subjects []string
+	docs     []string
+	queries  []string
+	// oracle[subject|doc|query] = serial Terminal.Query XML.
+	oracle map[string]string
+}
+
+func newTestWorld(t *testing.T) *testWorld {
+	t.Helper()
+	w := &testWorld{
+		store:    dsp.NewMemStore(),
+		keys:     map[string]secure.DocKey{},
+		subjects: []string{"nurse", "doctor", "admin", "researcher"},
+		docs:     []string{"folder-a", "folder-b"},
+		queries:  []string{"", "//emergency"},
+		oracle:   map[string]string{},
+	}
+	rules := map[string]string{
+		"nurse":      "subject nurse\ndefault -\n+ /folder\n- //ssn\n- //report",
+		"doctor":     "subject doctor\ndefault +\n- //ssn",
+		"admin":      "subject admin\ndefault +",
+		"researcher": "subject researcher\ndefault -\n+ //diagnosis",
+	}
+	pub := &proxy.Publisher{Store: w.store}
+	for i, docID := range w.docs {
+		doc := workload.MedicalFolder(workload.MedicalConfig{
+			Seed: int64(40 + i), Patients: 6 + 2*i, VisitsPerPatient: 3,
+		})
+		key := secure.KeyFromSeed("fleet:" + docID)
+		w.keys[docID] = key
+		if _, err := pub.PublishDocument(doc, docenc.EncodeOptions{
+			DocID: docID, Key: key, BlockPlain: 128, MinSkipBytes: 32,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for _, subject := range w.subjects {
+			rs := workload.MustParseRules(rules[subject])
+			rs.DocID = docID
+			if err := pub.GrantRules(key, rs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Serial oracle: a fresh card per subject, classic one-block loop.
+	for _, subject := range w.subjects {
+		c := card.New(card.Modern)
+		term := &proxy.Terminal{Store: w.store, Card: c}
+		for _, docID := range w.docs {
+			if err := c.PutKey(docID, w.keys[docID]); err != nil {
+				t.Fatal(err)
+			}
+			if err := term.InstallRules(subject, docID); err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range w.queries {
+				res, err := term.Query(subject, docID, q)
+				if err != nil {
+					t.Fatalf("oracle %s/%s/%q: %v", subject, docID, q, err)
+				}
+				w.oracle[subject+"|"+docID+"|"+q] = res.XML()
+			}
+		}
+	}
+	return w
+}
+
+func (w *testWorld) gateway(t *testing.T, prefetch int) *Gateway {
+	t.Helper()
+	g, err := New(Config{
+		Store:    w.store,
+		Keys:     FixedKeys(w.keys),
+		Prefetch: prefetch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestGatewayMatchesSerialTerminal hammers one gateway from many
+// goroutines with mixed subjects, documents and queries, and asserts
+// every result is byte-identical to the serial Terminal.Query output.
+// Run under -race this is also the fleet's thread-safety test.
+func TestGatewayMatchesSerialTerminal(t *testing.T) {
+	w := newTestWorld(t)
+	for _, prefetch := range []int{0, proxy.DefaultPrefetch} {
+		t.Run(fmt.Sprintf("prefetch=%d", prefetch), func(t *testing.T) {
+			g := w.gateway(t, prefetch)
+			defer g.Close()
+
+			const (
+				workers = 16
+				rounds  = 12
+			)
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			for wk := 0; wk < workers; wk++ {
+				wg.Add(1)
+				go func(wk int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						subject := w.subjects[(wk+r)%len(w.subjects)]
+						docID := w.docs[(wk*r+r)%len(w.docs)]
+						query := w.queries[(wk+r*3)%len(w.queries)]
+						res, err := g.Query(subject, docID, query)
+						if err != nil {
+							errCh <- fmt.Errorf("%s/%s/%q: %w", subject, docID, query, err)
+							return
+						}
+						want := w.oracle[subject+"|"+docID+"|"+query]
+						if got := res.XML(); got != want {
+							errCh <- fmt.Errorf("%s/%s/%q diverges from the serial terminal:\ngot:  %s\nwant: %s",
+								subject, docID, query, got, want)
+							return
+						}
+					}
+				}(wk)
+			}
+			wg.Wait()
+			close(errCh)
+			for err := range errCh {
+				t.Fatal(err)
+			}
+
+			if got := g.Subjects(); got != len(w.subjects) {
+				t.Errorf("fleet holds %d cards, want one per subject (%d)", got, len(w.subjects))
+			}
+			var queries int64
+			for _, st := range g.Stats() {
+				queries += st.Queries
+				if st.Errors != 0 {
+					t.Errorf("subject %s recorded %d errors", st.Subject, st.Errors)
+				}
+				if st.Queries > 0 && st.Meter.BytesToCard == 0 {
+					t.Errorf("subject %s has queries but an empty meter", st.Subject)
+				}
+			}
+			if queries != workers*rounds {
+				t.Errorf("aggregated %d queries, want %d", queries, workers*rounds)
+			}
+		})
+	}
+}
+
+func TestGatewayProvisionFailures(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	defer g.Close()
+
+	if _, err := g.Query("nurse", "no-such-doc", ""); err == nil {
+		t.Error("query for an unknown document must fail")
+	}
+	if _, err := g.Query("stranger", w.docs[0], ""); err == nil {
+		t.Error("query for a subject without granted rules must fail")
+	}
+	// A failed provisioning must not poison the tenant: the same
+	// subject with a valid document still works.
+	if _, err := g.Query("nurse", w.docs[0], ""); err != nil {
+		t.Errorf("valid query after a failed one: %v", err)
+	}
+}
+
+func TestGatewayRefreshRules(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	defer g.Close()
+	docID := w.docs[0]
+
+	if err := g.RefreshRules("nurse", docID); err == nil {
+		t.Error("refresh before provisioning must refuse (no implicit key grant)")
+	}
+	if _, err := g.Query("nurse", docID, ""); err != nil {
+		t.Fatal(err)
+	}
+	v1 := g.RuleVersion("nurse", docID)
+	if v1 < 0 {
+		t.Fatalf("no rule version after provisioning: %d", v1)
+	}
+
+	// The owner revokes: version bumps, the card follows on refresh.
+	pub := &proxy.Publisher{Store: w.store}
+	strict := workload.MustParseRules("subject nurse\ndefault -\n+ //name")
+	strict.DocID = docID
+	strict.Version = uint32(v1) + 1
+	if err := pub.GrantRules(w.keys[docID], strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RefreshRules("nurse", docID); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := g.RuleVersion("nurse", docID); v2 != v1+1 {
+		t.Errorf("rule version after refresh = %d, want %d", v2, v1+1)
+	}
+	// Refreshing again with the same stored blob is a no-op, never a
+	// rollback error.
+	if err := g.RefreshRules("nurse", docID); err != nil {
+		t.Errorf("idempotent refresh failed: %v", err)
+	}
+}
+
+func TestGatewayClose(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	if _, err := g.Query("admin", w.docs[0], ""); err != nil {
+		t.Fatal(err)
+	}
+	g.Close()
+	if _, err := g.Query("admin", w.docs[0], ""); err == nil {
+		t.Error("closed gateway must refuse queries")
+	}
+}

@@ -1,0 +1,185 @@
+package proxy
+
+import (
+	"repro/internal/dsp"
+	"repro/internal/soe"
+)
+
+// The pipelined pull path splits the terminal in two stages connected by
+// a bounded double buffer:
+//
+//	prefetcher ──runCh──▶ feed/evaluate
+//	     ▲                    │
+//	     └──────wantCh────────┘ (demand jumps only)
+//
+// The prefetcher speculatively fetches contiguous runs of blocks — one
+// batched store round trip per run — while the consumer feeds the
+// previous run into the card. As long as the card consumes linearly the
+// two stages overlap perfectly and no demand signalling is needed; when
+// the card's skip index jumps the wanted offset beyond the buffered
+// data, the consumer bumps a generation counter and redirects the
+// prefetcher, and every block fetched under the old generation is
+// accounted as speculation waste (ResultStats.BlocksWasted).
+//
+// The buffer is bounded by construction: one run held by the consumer,
+// one in the channel, one in flight at the prefetcher.
+
+// fetchRun is one speculative batch pulled from the store.
+type fetchRun struct {
+	gen    int
+	start  int
+	blocks [][]byte
+	err    error
+}
+
+// jump redirects the prefetcher to a new demand point.
+type jump struct {
+	gen int
+	idx int
+	// sure is the session's contiguity bound (soe.Session.NeedRun): the
+	// run of blocks from idx guaranteed to be consumed. When it exceeds
+	// the prefetch depth the prefetcher may batch harder, because no
+	// block of the run can turn into waste.
+	sure int
+}
+
+// prefetchTotals is what the prefetcher hands back when it exits; it is
+// read by the consumer only after pfDone is closed (happens-before via
+// the channel close), so plain ints are race-free.
+type prefetchTotals struct {
+	blocks int // blocks pulled from the store, useful and wasted alike
+	bytes  int64
+}
+
+// runLen picks the next run length: the configured depth k, stretched up
+// to twice that when the session's contiguity bound guarantees the
+// blocks will be consumed (waste-free, so the only limit is buffer
+// memory), and always clamped to the payload geometry.
+func runLen(k, sure, remaining int) int {
+	n := k
+	if sure > n {
+		n = sure
+		if n > 2*k {
+			n = 2 * k
+		}
+	}
+	if n > remaining {
+		n = remaining
+	}
+	return n
+}
+
+// runPipelined drives the session through the two-stage pipeline.
+func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, col *Collector, stats *ResultStats) (err error) {
+	next, sure := sess.NeedRun()
+	if next < 0 {
+		return nil // nothing demanded (degenerate payload)
+	}
+
+	var (
+		wantCh = make(chan jump)
+		runCh  = make(chan fetchRun, 1)
+		done   = make(chan struct{})
+		pfDone = make(chan struct{})
+		totals prefetchTotals
+	)
+	go t.prefetchLoop(docID, numBlocks, wantCh, runCh, done, pfDone, &totals)
+
+	fed := 0
+	defer func() {
+		close(done)
+		<-pfDone
+		stats.BlocksFetched += totals.blocks
+		stats.BytesFetched += totals.bytes
+		stats.BlocksWasted += totals.blocks - fed
+	}()
+
+	gen := 0
+	wantCh <- jump{gen: gen, idx: next, sure: sure}
+
+	var (
+		cur  fetchRun // have==true: the current fresh-generation run
+		have bool
+	)
+	for {
+		idx := sess.NeedBlock()
+		if idx < 0 {
+			return nil
+		}
+		// Obtain block idx from the buffer, pulling runs and redirecting
+		// the prefetcher as needed. Demand is strictly forward (the
+		// source never re-requests a fed block), so idx >= cur.start
+		// whenever a fresh run is held.
+		for {
+			if have && idx < cur.start+len(cur.blocks) {
+				break
+			}
+			if have && idx > cur.start+len(cur.blocks) {
+				// The demand skipped past this run and anything
+				// contiguously in flight behind it: redirect.
+				gen++
+				_, sure = sess.NeedRun()
+				wantCh <- jump{gen: gen, idx: idx, sure: sure}
+				have = false
+				continue
+			}
+			// No run yet, a stale run was dropped, or idx is exactly the
+			// next contiguous block: take the next run.
+			r := <-runCh
+			if r.err != nil && r.gen == gen {
+				return r.err
+			}
+			// A stale-generation run is discarded speculation; its blocks
+			// stay counted in totals and therefore in the waste.
+			cur, have = r, r.gen == gen
+		}
+		blk := cur.blocks[idx-cur.start]
+		fed++
+		if err := feedBlock(sess, col, idx, blk); err != nil {
+			return err
+		}
+	}
+}
+
+// prefetchLoop is the fetch stage: it walks forward from the latest
+// demand point in batched runs, parking when it overruns the payload and
+// restarting whenever the consumer redirects it.
+func (t *Terminal) prefetchLoop(docID string, numBlocks int, wantCh chan jump, runCh chan fetchRun, done chan struct{}, pfDone chan struct{}, totals *prefetchTotals) {
+	defer close(pfDone)
+	k := t.Prefetch
+	cur, gen, sure := -1, 0, 1
+	for {
+		if cur < 0 || cur >= numBlocks {
+			select {
+			case j := <-wantCh:
+				cur, gen, sure = j.idx, j.gen, j.sure
+			case <-done:
+				return
+			}
+			continue
+		}
+		n := runLen(k, sure, numBlocks-cur)
+		blocks, err := dsp.ReadBlockRange(t.Store, docID, cur, n)
+		for _, b := range blocks {
+			totals.blocks++
+			totals.bytes += int64(len(b))
+		}
+		select {
+		case runCh <- fetchRun{gen: gen, start: cur, blocks: blocks, err: err}:
+			if err != nil {
+				cur = -1 // park; the consumer aborts on the error
+				continue
+			}
+			cur += len(blocks)
+			if sure -= len(blocks); sure < 1 {
+				sure = 1
+			}
+		case j := <-wantCh:
+			// The run was fetched under the old demand and is never
+			// delivered; it stays counted in totals (waste).
+			cur, gen, sure = j.idx, j.gen, j.sure
+		case <-done:
+			return
+		}
+	}
+}

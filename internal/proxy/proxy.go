@@ -7,8 +7,11 @@
 // container header and the blocks the card asks for from the DSP, feeds
 // them to the SOE session, decodes the output records, buffers pending
 // parts until the card resolves them, and reassembles the authorized
-// result in document order. The Publisher is the administrative
-// counterpart: it encodes and uploads documents and sealed rule sets.
+// result in document order. With Prefetch set, fetching becomes a
+// speculative two-stage pipeline (see pipeline.go) that overlaps
+// batched DSP round trips with card evaluation. The Publisher is the
+// administrative counterpart: it encodes and uploads documents and
+// sealed rule sets.
 package proxy
 
 import (
@@ -32,13 +35,32 @@ type Terminal struct {
 	Card  *card.Card
 	// Options passes through to the SOE session (ablation switches).
 	Options soe.Options
+	// Prefetch enables the two-stage streaming pipeline: when > 0, a
+	// prefetcher goroutine speculatively fetches runs of up to Prefetch
+	// blocks per store round trip (one batched ReadBlocks call when the
+	// store supports it) into a bounded double buffer, overlapped with
+	// the card's feed/evaluate stage. Speculative blocks the card never
+	// asks for are counted in ResultStats.BlocksWasted. 0 keeps the
+	// historical serial one-block-per-round-trip loop.
+	Prefetch int
 }
+
+// DefaultPrefetch is a good pipeline depth for stores reached over a
+// network: long enough to amortize a round trip, short enough to keep
+// speculation waste small when the card skips.
+const DefaultPrefetch = 8
 
 // ResultStats describes the cost of one query.
 type ResultStats struct {
 	// BlocksFetched / BlocksTotal: the skip index's transfer saving.
+	// On the pipelined path BlocksFetched includes speculative blocks
+	// (see BlocksWasted for how many of those the card never consumed).
 	BlocksFetched int
 	BlocksTotal   int
+	// BlocksWasted counts prefetched blocks the card never asked for —
+	// the price of speculation on the pipelined path (always 0 on the
+	// serial path).
+	BlocksWasted int
 	// BytesFetched counts stored bytes pulled from the DSP.
 	BytesFetched int64
 	// Session carries the SOE-side counters (RAM peak, evaluator work).
@@ -107,24 +129,13 @@ func (t *Terminal) Query(subject, docID, query string) (*Result, error) {
 
 	col := NewCollector()
 	stats := ResultStats{BlocksTotal: header.NumBlocks()}
-	for {
-		idx := sess.NeedBlock()
-		if idx < 0 {
-			break
-		}
-		blk, err := t.Store.ReadBlock(docID, idx)
-		if err != nil {
-			return nil, err
-		}
-		stats.BlocksFetched++
-		stats.BytesFetched += int64(len(blk))
-		out, err := sess.Feed(idx, blk)
-		if err != nil {
-			return nil, err
-		}
-		if err := soe.DecodeRecords(out, col); err != nil {
-			return nil, err
-		}
+	if t.Prefetch > 0 {
+		err = t.runPipelined(sess, docID, header.NumBlocks(), col, &stats)
+	} else {
+		err = t.runSerial(sess, docID, col, &stats)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if !sess.Done() {
 		return nil, fmt.Errorf("proxy: stream ended but session is not done")
@@ -135,10 +146,40 @@ func (t *Terminal) Query(subject, docID, query string) (*Result, error) {
 	}
 
 	stats.Session = sess.Stats()
-	stats.Meter = meterDelta(meterBefore, t.Card.Meter)
+	stats.Meter = t.Card.Meter.Sub(meterBefore)
 	stats.Time = stats.Meter.Price(t.Card.Profile)
 	stats.PendingEvents, stats.PendingBytes = col.PendingLoad()
 	return &Result{Tree: tree, Stats: stats}, nil
+}
+
+// runSerial is the historical pull loop: one store round trip per block
+// the card demands, nothing speculative.
+func (t *Terminal) runSerial(sess *soe.Session, docID string, col *Collector, stats *ResultStats) error {
+	for {
+		idx := sess.NeedBlock()
+		if idx < 0 {
+			return nil
+		}
+		blk, err := t.Store.ReadBlock(docID, idx)
+		if err != nil {
+			return err
+		}
+		stats.BlocksFetched++
+		stats.BytesFetched += int64(len(blk))
+		if err := feedBlock(sess, col, idx, blk); err != nil {
+			return err
+		}
+	}
+}
+
+// feedBlock pushes one block into the card and routes the output records
+// to the collector — the evaluate stage shared by both pull paths.
+func feedBlock(sess *soe.Session, col *Collector, idx int, blk []byte) error {
+	out, err := sess.Feed(idx, blk)
+	if err != nil {
+		return err
+	}
+	return soe.DecodeRecords(out, col)
 }
 
 // InstallRules pulls the subject's sealed rule set from the store and
@@ -150,21 +191,6 @@ func (t *Terminal) InstallRules(subject, docID string) error {
 		return err
 	}
 	return t.Card.PutSealedRuleSet(docID, subject, sealed)
-}
-
-// meterDelta subtracts meters field-wise.
-func meterDelta(before, after card.Meter) card.Meter {
-	return card.Meter{
-		BytesToCard:   after.BytesToCard - before.BytesToCard,
-		BytesFromCard: after.BytesFromCard - before.BytesFromCard,
-		APDUs:         after.APDUs - before.APDUs,
-		CryptoBytes:   after.CryptoBytes - before.CryptoBytes,
-		MACBytes:      after.MACBytes - before.MACBytes,
-		Events:        after.Events - before.Events,
-		Transitions:   after.Transitions - before.Transitions,
-		CopyBytes:     after.CopyBytes - before.CopyBytes,
-		EEPROMBytes:   after.EEPROMBytes - before.EEPROMBytes,
-	}
 }
 
 // Publisher is the document-owner side: it encodes documents and seals

@@ -445,6 +445,74 @@ func TestSimulatedTimeBreakdown(t *testing.T) {
 	}
 }
 
+// TestPipelinedMatchesSerial: the prefetching pipeline must be invisible
+// to the card — same result tree, same card work, same useful blocks —
+// for skip-heavy, linear and query-driven sessions alike.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 5, Patients: 20, VisitsPerPatient: 5})
+	cases := []struct {
+		name  string
+		rules string
+		query string
+		opts  soe.Options
+	}{
+		{"skip-heavy", "subject u\ndefault -\n+ //emergency\n+ //patient/name", "", soe.Options{}},
+		{"linear", "subject u\ndefault +\n- //ssn", "", soe.Options{DisableSkip: true, DisableCopy: true}},
+		{"query", "subject u\ndefault +", "//emergency", soe.Options{}},
+		{"mostly-authorized", "subject u\ndefault +\n- //ssn", "", soe.Options{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := workload.MustParseRules(tc.rules)
+			r := newRig(t, doc, "doc", card.Modern, docenc.EncodeOptions{BlockPlain: 128, MinSkipBytes: 32}, rs)
+			r.term.Options = tc.opts
+			serial, err := r.term.Query("u", "doc", tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 3, DefaultPrefetch} {
+				r.term.Prefetch = k
+				piped, err := r.term.Query("u", "doc", tc.query)
+				if err != nil {
+					t.Fatalf("prefetch=%d: %v", k, err)
+				}
+				if (piped.Tree == nil) != (serial.Tree == nil) ||
+					(piped.Tree != nil && !piped.Tree.Equal(serial.Tree)) {
+					t.Fatalf("prefetch=%d result diverges from serial:\ngot:  %s\nwant: %s",
+						k, render(piped.Tree), render(serial.Tree))
+				}
+				if piped.Stats.Meter != serial.Stats.Meter {
+					t.Errorf("prefetch=%d card meter diverges:\ngot:  %+v\nwant: %+v",
+						k, piped.Stats.Meter, serial.Stats.Meter)
+				}
+				// Useful transfer is identical; anything extra is waste.
+				useful := piped.Stats.BlocksFetched - piped.Stats.BlocksWasted
+				if useful != serial.Stats.BlocksFetched {
+					t.Errorf("prefetch=%d useful blocks %d (fetched %d - wasted %d), serial fetched %d",
+						k, useful, piped.Stats.BlocksFetched, piped.Stats.BlocksWasted,
+						serial.Stats.BlocksFetched)
+				}
+				if piped.Stats.BlocksWasted < 0 {
+					t.Errorf("negative waste: %+v", piped.Stats)
+				}
+			}
+			// The ablated linear session promises a waste-free pipeline
+			// (NeedRun's contiguity bound covers the whole remainder).
+			if tc.opts.DisableSkip {
+				r.term.Prefetch = DefaultPrefetch
+				res, err := r.term.Query("u", "doc", tc.query)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Stats.BlocksWasted != 0 {
+					t.Errorf("linear session wasted %d speculative blocks", res.Stats.BlocksWasted)
+				}
+			}
+			r.term.Prefetch = 0
+		})
+	}
+}
+
 func render(n *xmlstream.Node) string {
 	if n == nil {
 		return "(nothing)"

@@ -1,0 +1,215 @@
+package soe
+
+import (
+	"testing"
+
+	"repro/internal/docenc"
+	"repro/internal/workload"
+	"repro/internal/xpath"
+)
+
+// TestNeedRunLinearGeometry drives a no-skip session block by block and
+// checks the demand signal against the header geometry at every step,
+// including the final partial block.
+func TestNeedRunLinearGeometry(t *testing.T) {
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 31, Patients: 3, VisitsPerPatient: 2})
+	c, key := provision(t, "nr", "subject u\ndefault +")
+
+	var container *docenc.Container
+	for _, bp := range []int{64, 96, 80} {
+		cand, _, err := docenc.Encode(doc, docenc.EncodeOptions{DocID: "nr", Key: key, BlockPlain: bp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cand.Header.PayloadLen%uint64(cand.Header.BlockPlain) != 0 {
+			container = cand
+			break
+		}
+	}
+	if container == nil {
+		t.Fatal("could not produce a payload with a partial last block")
+	}
+	numBlocks := container.Header.NumBlocks()
+
+	sess, err := NewSession(c, "nr", "u", nil, Options{DisableSkip: true, DisableCopy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := container.Header.MarshalBinary()
+	if err := sess.LoadHeader(hb); err != nil {
+		t.Fatal(err)
+	}
+
+	last := -1
+	for !sess.Done() {
+		next, sure := sess.NeedRun()
+		if next < 0 {
+			break
+		}
+		if want := sess.NeedBlock(); next != want {
+			t.Fatalf("NeedRun next %d != NeedBlock %d", next, want)
+		}
+		// Linear mode: the whole remainder is guaranteed, never past the
+		// payload geometry.
+		if wantSure := numBlocks - next; sure != wantSure {
+			t.Fatalf("at block %d: sure = %d, want the full remainder %d", next, sure, wantSure)
+		}
+		if _, err := sess.Feed(next, container.Blocks[next]); err != nil {
+			t.Fatal(err)
+		}
+		last = next
+	}
+	if !sess.Done() {
+		t.Fatal("session never finished")
+	}
+	// The final demanded block is the partial one, with a bound of
+	// exactly 1: the geometry stops the run at the payload end.
+	if last != numBlocks-1 {
+		t.Fatalf("last fed block %d, want the final partial block %d", last, numBlocks-1)
+	}
+	if next, sure := sess.NeedRun(); next != -1 || sure != 0 {
+		t.Fatalf("finished session NeedRun = (%d,%d), want (-1,0)", next, sure)
+	}
+}
+
+// TestNeedRunSpeculativeBound: with the skip index live, only the
+// demanded block is guaranteed — the bound must be 1 at every step.
+func TestNeedRunSpeculativeBound(t *testing.T) {
+	doc := workload.Agenda(workload.AgendaConfig{Seed: 32, Members: 4, EventsPerMember: 3})
+	c, key := provision(t, "nrs", "subject u\ndefault +\n- //phone")
+	container, _, err := docenc.Encode(doc, docenc.EncodeOptions{
+		DocID: "nrs", Key: key, BlockPlain: 64, MinSkipBytes: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(c, "nrs", "u", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := container.Header.MarshalBinary()
+	if err := sess.LoadHeader(hb); err != nil {
+		t.Fatal(err)
+	}
+	for !sess.Done() {
+		next, sure := sess.NeedRun()
+		if next < 0 {
+			break
+		}
+		if sure != 1 {
+			t.Fatalf("skip-enabled session promised %d sure blocks at %d, want 1", sure, next)
+		}
+		if _, err := sess.Feed(next, container.Blocks[next]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sess.Done() {
+		t.Fatal("session never finished")
+	}
+}
+
+// TestNeedRunSkipLandsAtPayloadEnd: a skip whose landing offset reaches
+// PayloadLen leaves nothing to demand — NeedRun must report (-1, 0)
+// rather than a block index derived from an out-of-range offset.
+func TestNeedRunSkipLandsAtPayloadEnd(t *testing.T) {
+	doc := workload.Agenda(workload.AgendaConfig{Seed: 33, Members: 3, EventsPerMember: 2})
+	c, key := provision(t, "nre", "subject u\ndefault +")
+	container, _, err := docenc.Encode(doc, docenc.EncodeOptions{DocID: "nre", Key: key, BlockPlain: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(c, "nre", "u", nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := container.Header.MarshalBinary()
+	if err := sess.LoadHeader(hb); err != nil {
+		t.Fatal(err)
+	}
+	// Feed the first block so the source has a live window, then emulate
+	// the evaluator skipping every remaining byte of the payload.
+	idx := sess.NeedBlock()
+	if _, err := sess.Feed(idx, container.Blocks[idx]); err != nil {
+		t.Fatal(err)
+	}
+	rest := int(sess.header.PayloadLen) - sess.src.Offset()
+	if rest <= 0 {
+		t.Fatalf("payload exhausted too early (offset %d)", sess.src.Offset())
+	}
+	if err := sess.src.Skip(rest); err != nil {
+		t.Fatal(err)
+	}
+	if next, sure := sess.NeedRun(); next != -1 || sure != 0 {
+		t.Fatalf("NeedRun after a skip to the payload end = (%d,%d), want (-1,0)", next, sure)
+	}
+	if got := sess.NeedBlock(); got != -1 {
+		t.Fatalf("NeedBlock after a skip to the payload end = %d, want -1", got)
+	}
+	// One byte further must be rejected by the source itself.
+	if err := sess.src.Skip(1); err == nil {
+		t.Fatal("skip past PayloadLen accepted")
+	}
+}
+
+// TestNeedRunQuerySkipsWholePayload: a query that cannot match anything
+// under the root lets the card skip the entire payload right after the
+// dictionary — the demand signal must jump straight past the middle
+// blocks instead of walking them.
+func TestNeedRunQuerySkipsWholePayload(t *testing.T) {
+	// A folder with an 'emergency' tag in the dictionary but a query
+	// ('/emergency') that requires it at the root, which is 'folder':
+	// nothing under the root can ever match, so its whole content is
+	// skippable.
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 34, Patients: 10, VisitsPerPatient: 4})
+	c, key := provision(t, "nrq", "subject u\ndefault +")
+	container, _, err := docenc.Encode(doc, docenc.EncodeOptions{
+		DocID: "nrq", Key: key, BlockPlain: 64, MinSkipBytes: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numBlocks := container.Header.NumBlocks()
+	if numBlocks < 8 {
+		t.Fatalf("workload too small to observe a jump: %d blocks", numBlocks)
+	}
+	sess, err := NewSession(c, "nrq", "u", xpath.MustParse("/emergency"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := container.Header.MarshalBinary()
+	if err := sess.LoadHeader(hb); err != nil {
+		t.Fatal(err)
+	}
+	var fed []int
+	for !sess.Done() {
+		next, sure := sess.NeedRun()
+		if next < 0 {
+			break
+		}
+		if sure < 1 || next+sure > numBlocks {
+			t.Fatalf("bound (%d,%d) escapes the %d-block geometry", next, sure, numBlocks)
+		}
+		if _, err := sess.Feed(next, container.Blocks[next]); err != nil {
+			t.Fatal(err)
+		}
+		fed = append(fed, next)
+	}
+	if !sess.Done() {
+		t.Fatal("session never finished")
+	}
+	if next, sure := sess.NeedRun(); next != -1 || sure != 0 {
+		t.Fatalf("finished session NeedRun = (%d,%d), want (-1,0)", next, sure)
+	}
+	// The whole payload after the dictionary prefix is skipped: the
+	// demand signal must die (-1) after a handful of prefix blocks —
+	// the root's content skip swallows everything through the final
+	// close record, so not even the last block is demanded.
+	if len(fed) >= numBlocks/4 {
+		t.Fatalf("query skip ineffective: %d of %d blocks demanded (%v)", len(fed), numBlocks, fed)
+	}
+	for i, b := range fed {
+		if b != i {
+			t.Fatalf("demanded blocks %v are not the contiguous dictionary prefix", fed)
+		}
+	}
+}

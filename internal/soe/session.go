@@ -156,6 +156,33 @@ func (s *Session) NeedBlock() int {
 	}
 }
 
+// NeedRun is the run-aware demand signal behind the terminal's
+// prefetching pipeline. It reports the next block index the card wants
+// (next, -1 when the session is finished) together with a contiguity
+// bound: sure is the number of contiguous blocks, starting at next,
+// that the session is certain to consume.
+//
+// The bound is derived from the header geometry — it never extends past
+// the payload, so the terminal can size a batched read without
+// overshooting the document — and from the evaluator's skip state: with
+// the skip index disabled no skip or value jump can ever occur, so
+// every remaining block is guaranteed to be wanted (sure covers the
+// whole remainder and speculation is free of waste); while skipping
+// remains possible only the block carrying the wanted offset is
+// guaranteed, and anything a terminal fetches beyond it is speculation
+// it must be prepared to discard.
+func (s *Session) NeedRun() (next, sure int) {
+	next = s.NeedBlock()
+	if next < 0 {
+		return -1, 0
+	}
+	if s.opts.DisableSkip {
+		// Linear consumption: geometry alone bounds the run.
+		return next, s.header.NumBlocks() - next
+	}
+	return next, 1
+}
+
 // Done reports whether the session completed successfully.
 func (s *Session) Done() bool { return s.phase == phaseDone }
 

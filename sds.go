@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/docenc"
 	"repro/internal/dsp"
+	"repro/internal/fleet"
 	"repro/internal/proxy"
 	"repro/internal/secure"
 	"repro/internal/soe"
@@ -75,12 +76,25 @@ type (
 	StoreServer = dsp.Server
 	// StoreServerConfig tunes a StoreServer's concurrency.
 	StoreServerConfig = dsp.ServerConfig
-	// Terminal orchestrates pull queries for one card.
+	// Terminal orchestrates pull queries for one card. Setting its
+	// Prefetch field (see DefaultPrefetch) turns the pull loop into a
+	// two-stage prefetching pipeline: batched block runs are fetched
+	// speculatively and overlapped with card evaluation.
 	Terminal = proxy.Terminal
 	// Publisher encodes and uploads documents and rule sets.
 	Publisher = proxy.Publisher
 	// Result is a query outcome with its cost statistics.
 	Result = proxy.Result
+	// Gateway is the card-fleet tier: it serves concurrent pull queries
+	// for many subjects over one shared store, provisioning one card
+	// per subject on demand.
+	Gateway = fleet.Gateway
+	// GatewayConfig assembles a Gateway.
+	GatewayConfig = fleet.Config
+	// GatewayStats aggregates one subject's usage at the gateway.
+	GatewayStats = fleet.SubjectStats
+	// KeySource resolves document keys during gateway provisioning.
+	KeySource = fleet.KeySource
 	// EncodeOptions tunes document encryption and indexing.
 	EncodeOptions = docenc.EncodeOptions
 	// SessionOptions tunes a card session (ablation switches).
@@ -101,6 +115,11 @@ const (
 	Permit = accessrule.Permit
 	Deny   = accessrule.Deny
 )
+
+// DefaultPrefetch is the pipeline depth that amortizes a network round
+// trip without inflating speculation waste (Terminal.Prefetch,
+// GatewayConfig.Prefetch).
+const DefaultPrefetch = proxy.DefaultPrefetch
 
 // ParseXML parses an XML document.
 func ParseXML(src []byte) (*Document, error) {
@@ -222,3 +241,24 @@ func QueryCard(store Store, c *Card, subject, docID, query string) (*Result, err
 	t := &Terminal{Store: store, Card: c}
 	return t.Query(subject, docID, query)
 }
+
+// QueryCardPipelined is QueryCard over the prefetching pipeline: block
+// runs of up to prefetch blocks (<= 0 selects DefaultPrefetch) are
+// fetched in batched round trips, overlapped with card evaluation — the
+// right shape when the store is at the end of a network link.
+func QueryCardPipelined(store Store, c *Card, subject, docID, query string, prefetch int) (*Result, error) {
+	if prefetch <= 0 {
+		prefetch = DefaultPrefetch
+	}
+	t := &Terminal{Store: store, Card: c, Prefetch: prefetch}
+	return t.Query(subject, docID, query)
+}
+
+// NewGateway builds a card-fleet gateway over a shared store: concurrent
+// Query calls for many subjects, bounded admission, on-demand
+// provisioning, per-subject meters. FixedGatewayKeys adapts a static key
+// table into the config's key source.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) { return fleet.New(cfg) }
+
+// FixedGatewayKeys adapts a docID→key table into a KeySource.
+func FixedGatewayKeys(keys map[string]Key) KeySource { return fleet.FixedKeys(keys) }
