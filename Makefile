@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test bench fmt vet staticcheck ci
+.PHONY: build test bench bench-smoke fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -14,6 +14,11 @@ test:
 ## bench: one-iteration benchmark smoke run (perf code must keep compiling and running)
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+## bench-smoke: run the network-path experiments end to end (E9 scaled
+## DSP, E10 gateway, E11 delta re-publish) — the write path included
+bench-smoke:
+	$(GO) run ./cmd/sdsbench E9 E10 E11
 
 ## fmt: fail if any file needs gofmt
 fmt:
@@ -35,4 +40,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test bench
+ci: fmt vet staticcheck build test bench bench-smoke

@@ -239,6 +239,28 @@ func BenchmarkE10PipelinedGateway(b *testing.B) {
 	b.ReportMetric(qps, "queries/s")
 }
 
+// BenchmarkE11DeltaRepublish measures a 10%-churn delta re-publication
+// over loopback TCP and reports the wire bytes as a percentage of what
+// the full re-upload moves.
+func BenchmarkE11DeltaRepublish(b *testing.B) {
+	base := bench.E11BaseDocument()
+	mutated := bench.ChurnDocument(base, 10)
+	fullBytes, _, err := bench.E11FullRepublish(base, mutated)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deltaBytes, _, _, err := bench.E11DeltaRepublishRun(base, mutated)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = 100 * float64(deltaBytes) / float64(fullBytes)
+	}
+	b.ReportMetric(ratio, "delta-bytes-%")
+}
+
 // BenchmarkE9ConcurrentDSP measures the scaled DSP (sharded store, LRU
 // cache, pipelined server, pooled batched clients) under 4 concurrent
 // clients over loopback TCP and reports aggregate blocks per second.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
 
 	"repro/internal/docenc"
 	"repro/internal/dsp"
@@ -19,10 +20,12 @@ type fileStore struct {
 	*dsp.MemStore
 	path string
 
-	// shadow copies for flushing (MemStore has no export API by design;
-	// the file layer tracks what it put in).
+	// shadow copies for flushing (the file layer tracks what it put in;
+	// block-level updates refresh their document via MemStore.Snapshot).
 	docs  map[string][]byte    // container images
 	rules map[string]fileRules // sealed rule blobs
+	// updating maps in-flight update tokens to their document id.
+	updating map[uint64]string
 }
 
 type fileRules struct {
@@ -37,6 +40,7 @@ func newFileStore(path string) (*fileStore, error) {
 		path:     path,
 		docs:     make(map[string][]byte),
 		rules:    make(map[string]fileRules),
+		updating: make(map[uint64]string),
 	}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -76,7 +80,46 @@ func (s *fileStore) PutRuleSet(docID, subject string, version uint32, sealed []b
 	return nil
 }
 
-// flush writes the store image.
+// BeginUpdate shadows the handshake so the commit can refresh the
+// document's persisted image (the embedded MemStore assembles the new
+// container; the file layer only learns which document moved).
+func (s *fileStore) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
+	token, err := s.MemStore.BeginUpdate(h, baseVersion)
+	if err != nil {
+		return 0, err
+	}
+	s.updating[token] = h.DocID
+	return token, nil
+}
+
+// CommitUpdate refreshes the shadow image from the committed container.
+func (s *fileStore) CommitUpdate(token uint64) error {
+	docID := s.updating[token]
+	delete(s.updating, token)
+	if err := s.MemStore.CommitUpdate(token); err != nil {
+		return err
+	}
+	c, err := s.MemStore.Snapshot(docID)
+	if err != nil {
+		return err
+	}
+	img, err := c.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	s.docs[docID] = img
+	return nil
+}
+
+// AbortUpdate drops the shadow bookkeeping with the staged update.
+func (s *fileStore) AbortUpdate(token uint64) error {
+	delete(s.updating, token)
+	return s.MemStore.AbortUpdate(token)
+}
+
+// flush writes the store image via a temp file and an atomic rename, so
+// a crash mid-write can never leave a torn store behind: consumers see
+// either the previous image or the new one, nothing in between.
 func (s *fileStore) flush() error {
 	var out []byte
 	out = append(out, 'S', 'D', 'S', 'F', 1)
@@ -91,7 +134,31 @@ func (s *fileStore) flush() error {
 		out = binary.AppendUvarint(out, uint64(r.version))
 		out = appendBytes(out, r.sealed)
 	}
-	return os.WriteFile(s.path, out, 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(s.path), filepath.Base(s.path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(out); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	// The data must be durable before the rename publishes it, or the
+	// rename could survive a crash that the contents did not.
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), s.path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }
 
 func (s *fileStore) load(data []byte) error {

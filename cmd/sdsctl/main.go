@@ -8,9 +8,11 @@
 //
 // Commands:
 //
-//	publish  -doc ID -in FILE -seed SEED       encrypt & upload an XML file
-//	grant    -doc ID -seed SEED -rules FILE    seal & upload a rule set
-//	query    -doc ID -seed SEED -subject S [-query XPATH] [-noskip] [-prefetch K]
+//	publish    -doc ID -in FILE -seed SEED     encrypt & upload an XML file
+//	republish  -doc ID -in FILE -seed SEED     delta re-publish a new version
+//	                                           (only changed blocks travel)
+//	grant      -doc ID -seed SEED -rules FILE  seal & upload a rule set
+//	query      -doc ID -seed SEED -subject S [-query XPATH] [-noskip] [-prefetch K]
 //	ls                                         list stored documents
 //
 // The document key is derived from -seed (a stand-in for the PKI
@@ -45,7 +47,7 @@ func main() {
 	profile := flag.String("profile", "egate", "card profile: egate or modern")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("missing command (publish, grant, query, ls)")
+		log.Fatal("missing command (publish, republish, grant, query, ls)")
 	}
 
 	store, closeStore := openStore(*storeAddr, *conns)
@@ -84,6 +86,39 @@ func main() {
 		fmt.Printf("published %s: %d nodes, %d blocks, %d stored bytes (index %d, dict %d)\n",
 			*docID, info.Nodes, (info.PayloadBytes+*block-1)/(*block), info.StoredBytes,
 			info.IndexBytes, info.DictBytes)
+
+	case "republish":
+		fs := flag.NewFlagSet("republish", flag.ExitOnError)
+		docID := fs.String("doc", "", "document id")
+		in := fs.String("in", "", "XML file (the new version)")
+		seed := fs.String("seed", "", "key seed")
+		_ = fs.Parse(args)
+		requireAll(map[string]string{"doc": *docID, "in": *in, "seed": *seed})
+		src, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		evs, err := xmlstream.Parse(src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tree, err := xmlstream.BuildTree(evs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub := &proxy.Publisher{Store: store}
+		ri, err := pub.Republish(tree, docenc.EncodeOptions{
+			DocID: *docID, Key: secure.KeyFromSeed(*seed),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		how := fmt.Sprintf("%d/%d blocks in %d runs", ri.ChangedBlocks, ri.TotalBlocks, ri.ChangedRuns)
+		if ri.Fallback {
+			how = "whole container (store lacks the patch protocol)"
+		}
+		fmt.Printf("republished %s at version %d: %s, %d bytes uploaded\n",
+			*docID, ri.Version, how, ri.BytesUploaded)
 
 	case "grant":
 		fs := flag.NewFlagSet("grant", flag.ExitOnError)

@@ -106,5 +106,6 @@ func All() []Experiment {
 		{"E8", "dynamic rule changes vs re-encryption", E8DynamicRules},
 		{"E9", "concurrent DSP throughput", E9ConcurrentDSP},
 		{"E10", "pipelined pull & card-fleet gateway", E10Pipeline},
+		{"E11", "delta re-publish vs full re-publish", E11DeltaRepublish},
 	}
 }

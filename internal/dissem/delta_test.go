@@ -1,0 +1,180 @@
+package dissem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/secure"
+	"repro/internal/soe"
+	"repro/internal/workload"
+	"repro/internal/xmlstream"
+)
+
+// deltaDoc builds a document with a small authorized head and a bulky
+// tail subtree, so a subscriber restricted to the head skips the tail.
+func deltaDoc(tailText func(i int) string) *xmlstream.Node {
+	root := &xmlstream.Node{Name: "doc"}
+	keep := &xmlstream.Node{Name: "keep"}
+	for i := 0; i < 4; i++ {
+		keep.Children = append(keep.Children, &xmlstream.Node{Name: "item",
+			Children: []*xmlstream.Node{{Text: "head-content-stays-put"}}})
+	}
+	bulky := &xmlstream.Node{Name: "bulky"}
+	for i := 0; i < 40; i++ {
+		bulky.Children = append(bulky.Children, &xmlstream.Node{Name: "slab",
+			Children: []*xmlstream.Node{{Text: tailText(i)}}})
+	}
+	// A constant trailer keeps the document's final blocks (which every
+	// card consumes: the root's close record lives there) out of any
+	// interior delta.
+	trailer := &xmlstream.Node{Name: "trailer"}
+	for i := 0; i < 8; i++ {
+		trailer.Children = append(trailer.Children, &xmlstream.Node{Name: "pad",
+			Children: []*xmlstream.Node{{Text: "constant-trailer-padding-text"}}})
+	}
+	root.Children = []*xmlstream.Node{keep, bulky, trailer}
+	return root
+}
+
+func deltaSubscriber(t *testing.T, name, rules string, key secure.DocKey) *Subscriber {
+	t.Helper()
+	c := card.New(card.Modern)
+	if err := c.PutKey("delta-doc", key); err != nil {
+		t.Fatal(err)
+	}
+	rs := workload.MustParseRules(rules)
+	rs.DocID = "delta-doc"
+	if err := c.PutRuleSet(rs); err != nil {
+		t.Fatal(err)
+	}
+	return NewSubscriber(name, c, nil, soe.Options{})
+}
+
+// TestDeltaBroadcastReuseAndRerun: a tail-only mutation reruns the
+// all-access subscriber but serves the head-only subscriber from its
+// retained view; both end up matching a fresh broadcast of the new
+// version.
+func TestDeltaBroadcastReuseAndRerun(t *testing.T) {
+	key := secure.KeyFromSeed("delta-dissem")
+	opts := docenc.EncodeOptions{DocID: "delta-doc", Key: key, BlockPlain: 64, MinSkipBytes: 32}
+	oldDoc := deltaDoc(func(i int) string { return "tail-segment-payload-contents" })
+	newDoc := deltaDoc(func(i int) string {
+		if i >= 10 && i < 30 {
+			return "TAIL-SEGMENT-PAYLOAD-CHANGED!"
+		}
+		return "tail-segment-payload-contents"
+	})
+
+	old, _, err := docenc.Encode(oldDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _, err := docenc.DiffEncode(newDoc, opts, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.ChangedBlocks == 0 || delta.ChangedBlocks == delta.TotalBlocks {
+		t.Fatalf("degenerate delta: %d/%d", delta.ChangedBlocks, delta.TotalBlocks)
+	}
+	applied, err := delta.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	headOnly := deltaSubscriber(t, "head-only", "subject s\ndefault -\n+ /doc/keep", key)
+	allAccess := deltaSubscriber(t, "all-access", "subject s\ndefault +", key)
+	subs := []*Subscriber{headOnly, allAccess}
+
+	if _, err := Broadcast(old, "s", subs); err != nil {
+		t.Fatal(err)
+	}
+	if headOnly.BlocksForwarded >= allAccess.BlocksForwarded {
+		t.Fatalf("head-only forwarded %d blocks, all-access %d: the skip premise is broken",
+			headOnly.BlocksForwarded, allAccess.BlocksForwarded)
+	}
+
+	recs, stats, err := DeltaBroadcast(old, applied, "s", subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BlocksChanged != delta.ChangedBlocks {
+		t.Fatalf("delta round broadcasts %d blocks, differ said %d", stats.BlocksChanged, delta.ChangedBlocks)
+	}
+	if stats.Reused != 1 || stats.Rerun != 1 {
+		t.Fatalf("reused=%d rerun=%d, want 1/1", stats.Reused, stats.Rerun)
+	}
+
+	// Oracle: a cold broadcast of the new version to fresh subscribers.
+	oracle := []*Subscriber{
+		deltaSubscriber(t, "head-only", "subject s\ndefault -\n+ /doc/keep", key),
+		deltaSubscriber(t, "all-access", "subject s\ndefault +", key),
+	}
+	want, err := Broadcast(applied, "s", oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		got, _ := xmlstream.Serialize(recs[i].Tree.Events(), xmlstream.WriterOptions{})
+		exp, _ := xmlstream.Serialize(want[i].Tree.Events(), xmlstream.WriterOptions{})
+		if got != exp {
+			t.Fatalf("subscriber %s: delta round delivered a different view", recs[i].Subscriber)
+		}
+	}
+}
+
+// TestDeltaBroadcastGeometryChange: a payload-length change reruns
+// everyone (no reuse is provable across geometries).
+func TestDeltaBroadcastGeometryChange(t *testing.T) {
+	key := secure.KeyFromSeed("delta-geom")
+	opts := docenc.EncodeOptions{DocID: "delta-doc", Key: key, BlockPlain: 64, MinSkipBytes: 32}
+	oldDoc := deltaDoc(func(i int) string { return "tail-segment-payload-contents" })
+	newDoc := deltaDoc(func(i int) string { return "tail-grew-longer-this-time-around" })
+
+	old, _, err := docenc.Encode(oldDoc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, _, err := docenc.DiffEncode(newDoc, opts, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, err := delta.Apply(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := deltaSubscriber(t, "head-only", "subject s\ndefault -\n+ /doc/keep", key)
+	if _, err := Broadcast(old, "s", []*Subscriber{sub}); err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := DeltaBroadcast(old, applied, "s", []*Subscriber{sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Reused != 0 || stats.Rerun != 1 {
+		t.Fatalf("geometry change must rerun: reused=%d rerun=%d", stats.Reused, stats.Rerun)
+	}
+}
+
+// TestBroadcastErrorNamesSubscriber: a failing subscriber is named in
+// the propagated error even among healthy peers.
+func TestBroadcastErrorNamesSubscriber(t *testing.T) {
+	key := secure.KeyFromSeed("named")
+	opts := docenc.EncodeOptions{DocID: "delta-doc", Key: key, BlockPlain: 64, MinSkipBytes: 32}
+	container, _, err := docenc.Encode(deltaDoc(func(int) string { return "x-content-x" }), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := deltaSubscriber(t, "good", "subject s\ndefault +", key)
+	// The bad subscriber's card lacks key and rules: its session refuses
+	// to open.
+	bad := NewSubscriber("the-broken-one", card.New(card.Modern), nil, soe.Options{})
+	_, err = Broadcast(container, "s", []*Subscriber{good, bad})
+	if err == nil {
+		t.Fatal("broadcast with an unprovisioned card succeeded")
+	}
+	if !strings.Contains(err.Error(), "the-broken-one") {
+		t.Fatalf("error %q does not name the failing subscriber", err)
+	}
+}

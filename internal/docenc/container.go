@@ -10,17 +10,47 @@ import (
 // Header is the cleartext part of a container: the minimum the terminal
 // and DSP need to address blocks. It is authenticated with the document
 // key, so the SOE detects any tampering with the geometry (shrinking
-// PayloadLen would otherwise truncate the document undetected).
+// PayloadLen would otherwise truncate the document undetected) and with
+// the per-block generation vector (rolling one block back to an older
+// generation would otherwise replay superseded content undetected).
 type Header struct {
 	DocID      string
 	Version    uint32
 	BlockPlain uint32
 	PayloadLen uint64
-	MAC        [secure.HeaderMACLen]byte
+	// GenRuns run-length encodes the per-block encryption generation: the
+	// document version under which each block was last (re-)encrypted. An
+	// empty slice means every block is at Version — the full-publish case,
+	// which costs no header bytes. A delta re-publish re-encrypts only the
+	// changed blocks at the new version; the untouched blocks keep their
+	// old ciphertext and therefore their old generation, recorded here so
+	// the SOE can still authenticate them. Runs must cover exactly
+	// NumBlocks() blocks and no generation may exceed Version.
+	GenRuns []GenRun
+	MAC     [secure.HeaderMACLen]byte
+}
+
+// GenRun is one run of consecutive blocks sharing an encryption
+// generation.
+type GenRun struct {
+	Count uint32
+	Gen   uint32
+}
+
+// BlockGen reports the generation block idx was encrypted under: the
+// version argument the SOE must pass to secure.DecryptBlock.
+func (h *Header) BlockGen(idx int) uint32 {
+	for _, r := range h.GenRuns {
+		if idx < int(r.Count) {
+			return r.Gen
+		}
+		idx -= int(r.Count)
+	}
+	return h.Version
 }
 
 // magic identifies the container format.
-var magic = [4]byte{'S', 'D', 'S', '1'}
+var magic = [4]byte{'S', 'D', 'S', '2'}
 
 // canonical serializes the MAC'd fields.
 func (h *Header) canonical() []byte {
@@ -31,6 +61,11 @@ func (h *Header) canonical() []byte {
 	b = binary.AppendUvarint(b, uint64(h.Version))
 	b = binary.AppendUvarint(b, uint64(h.BlockPlain))
 	b = binary.AppendUvarint(b, h.PayloadLen)
+	b = binary.AppendUvarint(b, uint64(len(h.GenRuns)))
+	for _, r := range h.GenRuns {
+		b = binary.AppendUvarint(b, uint64(r.Count))
+		b = binary.AppendUvarint(b, uint64(r.Gen))
+	}
 	return b
 }
 
@@ -74,14 +109,51 @@ func UnmarshalHeader(data []byte) (Header, int, error) {
 	}
 	h.PayloadLen = pl
 	pos += n
+	if h.BlockPlain == 0 {
+		return h, 0, fmt.Errorf("docenc: zero block size")
+	}
+	nRuns, n := binary.Uvarint(data[pos:])
+	if n <= 0 {
+		return h, 0, fmt.Errorf("docenc: truncated generation runs")
+	}
+	pos += n
+	// A run covers at least one block, so a hostile run count larger than
+	// the geometry can be rejected before any allocation.
+	if nRuns > uint64(h.NumBlocks()) {
+		return h, 0, fmt.Errorf("docenc: %d generation runs exceed the %d-block geometry",
+			nRuns, h.NumBlocks())
+	}
+	var covered uint64
+	for i := uint64(0); i < nRuns; i++ {
+		count, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return h, 0, fmt.Errorf("docenc: truncated generation run count")
+		}
+		pos += n
+		gen, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return h, 0, fmt.Errorf("docenc: truncated generation")
+		}
+		pos += n
+		if count == 0 || count > uint64(h.NumBlocks()) {
+			return h, 0, fmt.Errorf("docenc: generation run of %d blocks outside the geometry", count)
+		}
+		if gen > uint64(h.Version) {
+			return h, 0, fmt.Errorf("docenc: block generation %d ahead of document version %d",
+				gen, h.Version)
+		}
+		covered += count
+		h.GenRuns = append(h.GenRuns, GenRun{Count: uint32(count), Gen: uint32(gen)})
+	}
+	if nRuns > 0 && covered != uint64(h.NumBlocks()) {
+		return h, 0, fmt.Errorf("docenc: generation runs cover %d blocks, geometry has %d",
+			covered, h.NumBlocks())
+	}
 	if pos+secure.HeaderMACLen > len(data) {
 		return h, 0, fmt.Errorf("docenc: truncated header MAC")
 	}
 	copy(h.MAC[:], data[pos:pos+secure.HeaderMACLen])
 	pos += secure.HeaderMACLen
-	if h.BlockPlain == 0 {
-		return h, 0, fmt.Errorf("docenc: zero block size")
-	}
 	return h, pos, nil
 }
 
@@ -96,6 +168,28 @@ func (h *Header) NumBlocks() int {
 		return 0
 	}
 	return int((h.PayloadLen + uint64(h.BlockPlain) - 1) / uint64(h.BlockPlain))
+}
+
+// BlockPlainLen reports the plaintext length of block idx under the
+// geometry (0 when idx is out of range).
+func (h *Header) BlockPlainLen(idx int) int {
+	if idx < 0 || idx >= h.NumBlocks() {
+		return 0
+	}
+	rem := h.PayloadLen - uint64(idx)*uint64(h.BlockPlain)
+	if rem > uint64(h.BlockPlain) {
+		return int(h.BlockPlain)
+	}
+	return int(rem)
+}
+
+// BlockStoredLen reports the stored (ciphertext+tag) length of block idx.
+func (h *Header) BlockStoredLen(idx int) int {
+	n := h.BlockPlainLen(idx)
+	if n == 0 {
+		return 0
+	}
+	return n + secure.MACLen
 }
 
 // BlockRange maps a plaintext byte range to the block indexes covering it.
@@ -179,7 +273,7 @@ func (c *Container) DecryptPayload(key secure.DocKey) ([]byte, error) {
 	}
 	out := make([]byte, 0, c.Header.PayloadLen)
 	for i, blk := range c.Blocks {
-		plain, err := secure.DecryptBlock(key, c.Header.DocID, c.Header.Version, uint32(i), blk)
+		plain, err := secure.DecryptBlock(key, c.Header.DocID, c.Header.BlockGen(i), uint32(i), blk)
 		if err != nil {
 			return nil, err
 		}

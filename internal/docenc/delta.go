@@ -1,0 +1,238 @@
+package docenc
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/secure"
+	"repro/internal/xmlstream"
+)
+
+// This file implements the block-level delta between two versions of a
+// container. The crypto layer binds every stored block to (docID,
+// generation, index) with a deterministic IV, so a plaintext block that
+// did not change between versions has a still-valid ciphertext under its
+// old generation; a delta re-publish therefore re-encrypts (and
+// re-uploads) only the blocks whose plaintext moved, and records the
+// surviving generations in the header's MAC'd GenRuns vector so the SOE
+// keeps authenticating every block.
+
+// BlockRun is a contiguous run of block indexes.
+type BlockRun struct {
+	Start, Count int
+}
+
+// DiffBlocks compares two payload images block-aligned and returns the
+// runs of block indexes (over the NEW geometry) whose plaintext differs —
+// including every block past the end of the shorter payload.
+func DiffBlocks(oldPayload, newPayload []byte, blockPlain int) []BlockRun {
+	if blockPlain <= 0 {
+		return nil
+	}
+	numNew := (len(newPayload) + blockPlain - 1) / blockPlain
+	var runs []BlockRun
+	for i := 0; i < numNew; i++ {
+		if blockEqual(blockAt(oldPayload, blockPlain, i), blockAt(newPayload, blockPlain, i)) {
+			continue
+		}
+		if n := len(runs); n > 0 && runs[n-1].Start+runs[n-1].Count == i {
+			runs[n-1].Count++
+		} else {
+			runs = append(runs, BlockRun{Start: i, Count: 1})
+		}
+	}
+	return runs
+}
+
+// blockAt returns payload's plaintext block i under the given geometry
+// (nil when i is past the end).
+func blockAt(payload []byte, blockPlain, i int) []byte {
+	off := i * blockPlain
+	if off >= len(payload) {
+		return nil
+	}
+	end := off + blockPlain
+	if end > len(payload) {
+		end = len(payload)
+	}
+	return payload[off:end]
+}
+
+// blockEqual reports whether two blocks exist and are byte-identical
+// (same length, same bytes) — the reuse condition: a shorter or longer
+// final block is a different block even on a shared prefix.
+func blockEqual(a, b []byte) bool {
+	return a != nil && b != nil && bytes.Equal(a, b)
+}
+
+// PatchRun is one changed run with its re-encrypted stored blocks.
+type PatchRun struct {
+	Start  int
+	Blocks [][]byte
+}
+
+// DeltaUpdate is a block-level delta from one container version to its
+// successor: the new (MAC'd) header plus the stored blocks of the
+// changed runs. Everything outside the runs is, by construction,
+// byte-identical on the store already.
+type DeltaUpdate struct {
+	// Header is the successor header: Version bumped, GenRuns recording
+	// which generation each block of the new geometry is encrypted under.
+	Header Header
+	// BaseVersion is the version this delta applies on top of.
+	BaseVersion uint32
+	// Runs are the changed runs in ascending block order.
+	Runs []PatchRun
+	// TotalBlocks and ChangedBlocks summarize the delta's size.
+	TotalBlocks   int
+	ChangedBlocks int
+	// BytesChanged is the stored bytes carried by Runs.
+	BytesChanged int64
+}
+
+// ChangedRuns returns the delta's runs as index ranges (no payloads).
+func (d *DeltaUpdate) ChangedRuns() []BlockRun {
+	out := make([]BlockRun, len(d.Runs))
+	for i, r := range d.Runs {
+		out[i] = BlockRun{Start: r.Start, Count: len(r.Blocks)}
+	}
+	return out
+}
+
+// DiffEncode encodes root as the successor of old: the new version is
+// old's plus one, unchanged blocks keep old ciphertext and generation,
+// and only changed blocks are re-encrypted. The old container is
+// authenticated (header MAC, block tags) before it is trusted as the
+// diff base. The encoding pass streams: each plaintext block is compared
+// against the old payload as it is produced and either dropped (reuse)
+// or encrypted into the delta, so resident memory is the old payload
+// plus the changed blocks.
+//
+// opts.Version is ignored (the successor version is negotiated from
+// old); opts.DocID and opts.BlockPlain, when set, must match old — the
+// delta is only meaningful over an identical geometry.
+func DiffEncode(root *xmlstream.Node, opts EncodeOptions, old *Container) (*DeltaUpdate, *EncodeInfo, error) {
+	if old == nil {
+		return nil, nil, fmt.Errorf("docenc: delta needs a base container")
+	}
+	if opts.DocID != "" && opts.DocID != old.Header.DocID {
+		return nil, nil, fmt.Errorf("docenc: delta DocID %q does not match base %q",
+			opts.DocID, old.Header.DocID)
+	}
+	if opts.BlockPlain != 0 && opts.BlockPlain != int(old.Header.BlockPlain) {
+		return nil, nil, fmt.Errorf("docenc: delta block size %d does not match base %d",
+			opts.BlockPlain, old.Header.BlockPlain)
+	}
+	opts.DocID = old.Header.DocID
+	opts.BlockPlain = int(old.Header.BlockPlain)
+	opts.Version = old.Header.Version + 1
+
+	oldPayload, err := old.DecryptPayload(opts.Key)
+	if err != nil {
+		return nil, nil, fmt.Errorf("docenc: authenticating the delta base: %w", err)
+	}
+
+	enc, err := NewEncoder(root, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := &DeltaUpdate{
+		BaseVersion: old.Header.Version,
+		TotalBlocks: enc.NumBlocks(),
+	}
+	gens := make([]uint32, 0, enc.NumBlocks())
+	err = enc.runPlain(func(idx int, plain []byte) error {
+		if blockEqual(blockAt(oldPayload, opts.BlockPlain, idx), plain) {
+			gens = append(gens, old.Header.BlockGen(idx))
+			return nil
+		}
+		stored, err := secure.EncryptBlock(opts.Key, opts.DocID, opts.Version, uint32(idx), plain)
+		if err != nil {
+			return err
+		}
+		gens = append(gens, opts.Version)
+		d.ChangedBlocks++
+		d.BytesChanged += int64(len(stored))
+		if n := len(d.Runs); n > 0 && d.Runs[n-1].Start+len(d.Runs[n-1].Blocks) == idx {
+			d.Runs[n-1].Blocks = append(d.Runs[n-1].Blocks, stored)
+		} else {
+			d.Runs = append(d.Runs, PatchRun{Start: idx, Blocks: [][]byte{stored}})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Re-seal the header with the generation vector (the encoder MAC'd a
+	// gen-free header before the diff outcome was known).
+	h := enc.Header()
+	h.GenRuns = compressGens(gens, h.Version)
+	h.MAC = secure.HeaderMAC(opts.Key, h.canonical())
+	d.Header = h
+	return d, enc.Info(), nil
+}
+
+// compressGens run-length encodes the generation vector; a vector that
+// is uniformly the current version collapses to nil (the header's
+// compact full-publish form).
+func compressGens(gens []uint32, version uint32) []GenRun {
+	uniform := true
+	for _, g := range gens {
+		if g != version {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return nil
+	}
+	var runs []GenRun
+	for _, g := range gens {
+		if n := len(runs); n > 0 && runs[n-1].Gen == g {
+			runs[n-1].Count++
+		} else {
+			runs = append(runs, GenRun{Count: 1, Gen: g})
+		}
+	}
+	return runs
+}
+
+// Apply materializes the successor container locally: the fallback path
+// for stores without the block-patch protocol, and the oracle for
+// differential tests.
+func (d *DeltaUpdate) Apply(old *Container) (*Container, error) {
+	if old == nil || old.Header.DocID != d.Header.DocID {
+		return nil, fmt.Errorf("docenc: delta applies to %q", d.Header.DocID)
+	}
+	if old.Header.Version != d.BaseVersion {
+		return nil, fmt.Errorf("docenc: delta is against version %d, container is at %d",
+			d.BaseVersion, old.Header.Version)
+	}
+	c := &Container{Header: d.Header}
+	n := d.Header.NumBlocks()
+	c.Blocks = make([][]byte, n)
+	for i := 0; i < n && i < len(old.Blocks); i++ {
+		c.Blocks[i] = old.Blocks[i]
+	}
+	for _, r := range d.Runs {
+		for j, b := range r.Blocks {
+			if r.Start+j >= n {
+				return nil, fmt.Errorf("docenc: delta block %d outside the %d-block geometry", r.Start+j, n)
+			}
+			c.Blocks[r.Start+j] = b
+		}
+	}
+	remaining := int(d.Header.PayloadLen)
+	for i, b := range c.Blocks {
+		plainLen := int(d.Header.BlockPlain)
+		if remaining < plainLen {
+			plainLen = remaining
+		}
+		if b == nil || len(b) != plainLen+secure.MACLen {
+			return nil, fmt.Errorf("docenc: delta leaves block %d missing or mis-sized", i)
+		}
+		remaining -= plainLen
+	}
+	return c, nil
+}

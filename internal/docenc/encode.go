@@ -26,6 +26,13 @@
 // at least MinSkipBytes; since a child's content is strictly contained in
 // its parent's, index-free subtrees are contiguous and the decoder's
 // parent-set stack stays consistent.
+//
+// Encoding is a streaming two-phase pass: a sizing walk annotates every
+// node with its content tag set and exact encoded size (sizes, not
+// bytes), after which the emitter produces the payload front to back in
+// one pass, encrypting and handing off each block as it fills. No
+// payload or container image is ever materialized — the resident state
+// is the per-node annotations plus one plaintext block.
 package docenc
 
 import (
@@ -105,63 +112,54 @@ type EncodeInfo struct {
 	FlatIndexBytes int
 }
 
-// Encode compresses, indexes, encrypts and packages a document.
+// Encode compresses, indexes, encrypts and packages a document. It is
+// the buffered convenience over Encoder: the streaming pass collects
+// into a Container.
 func Encode(root *xmlstream.Node, opts EncodeOptions) (*Container, *EncodeInfo, error) {
-	payload, info, err := EncodePayload(root, opts)
+	enc, err := NewEncoder(root, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	container, err := Seal(payload, opts)
-	if err != nil {
+	c := &Container{Header: enc.Header()}
+	if err := enc.Run(func(idx int, stored []byte) error {
+		c.Blocks = append(c.Blocks, stored)
+		return nil
+	}); err != nil {
 		return nil, nil, err
 	}
-	info.StoredBytes = container.StoredSize()
-	return container, info, nil
+	info := enc.Info()
+	info.StoredBytes = c.StoredSize()
+	return c, info, nil
 }
 
 // EncodePayload builds the plaintext payload (dictionary + indexed
 // structure stream) without encrypting it. Engine-only benchmarks and the
 // index-overhead experiment use it directly.
 func EncodePayload(root *xmlstream.Node, opts EncodeOptions) ([]byte, *EncodeInfo, error) {
-	if root == nil || root.IsText() {
-		return nil, nil, fmt.Errorf("docenc: document root must be an element")
-	}
 	if opts.DocID == "" {
 		opts.DocID = "payload-only"
 	}
-	if err := opts.normalize(); err != nil {
-		return nil, nil, err
-	}
-
-	stats := xmlstream.CollectStats(root.Events())
-	dict, err := tagdict.FromCounts(stats.TagCounts)
+	p, err := newPlan(root, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-
-	enc := &encoder{dict: dict, opts: &opts, info: &EncodeInfo{Dict: dict}}
-	info, err := enc.annotate(root)
-	if err != nil {
+	out := make([]byte, 0, p.payloadLen)
+	if err := p.emit(func(b []byte) error {
+		out = append(out, b...)
+		return nil
+	}); err != nil {
 		return nil, nil, err
 	}
-
-	payload, err := dict.MarshalBinary()
-	if err != nil {
-		return nil, nil, err
+	if len(out) != p.payloadLen {
+		return nil, nil, fmt.Errorf("docenc: emitted %d payload bytes, sizing pass computed %d",
+			len(out), p.payloadLen)
 	}
-	enc.info.DictBytes = len(payload)
-
-	universe := skipindex.NewSet(dict.Len())
-	for i := 0; i < dict.Len(); i++ {
-		universe.Add(tagdict.Code(i))
-	}
-	payload = enc.encodeNode(payload, info, universe)
-	enc.info.PayloadBytes = len(payload)
-	return payload, enc.info, nil
+	return out, p.info, nil
 }
 
-// Seal encrypts a ready payload into a container (Encode's last stage,
-// exposed for re-encryption experiments).
+// Seal encrypts a ready payload into a container (the buffered last
+// stage, exposed for re-encryption experiments; the streaming Encoder
+// never goes through it).
 func Seal(payload []byte, opts EncodeOptions) (*Container, error) {
 	if err := opts.normalize(); err != nil {
 		return nil, err
@@ -190,36 +188,84 @@ func Seal(payload []byte, opts EncodeOptions) (*Container, error) {
 	return c, nil
 }
 
-// nodeInfo is the annotation tree of the two-phase encoder: phase A
-// computes content tag sets bottom-up; phase B emits bytes top-down
-// (child records are compressed against the parent set, which is only
-// known once all children are annotated).
+// nodeInfo is the annotation tree of the two-phase encoder: the sizing
+// walk computes content tag sets and exact encoded sizes bottom-up; the
+// emitter then writes bytes top-down (child records are compressed
+// against the parent set, which is only known once all children are
+// annotated).
 type nodeInfo struct {
 	node     *xmlstream.Node
 	code     tagdict.Code
 	tags     skipindex.Set // codes strictly below the node
 	children []*nodeInfo   // parallel to element children; nil for text
+	// contentSize is the exact byte size of the node's encoded content
+	// (children records, values, closing opcode) — the skip record's
+	// jump distance, known before a single byte is emitted.
+	contentSize int
+	// indexed records the sizing walk's decision to attach a skip record.
+	indexed bool
 }
 
-type encoder struct {
-	dict *tagdict.Dict
-	opts *EncodeOptions
-	info *EncodeInfo
+// plan is the outcome of the sizing pass: everything the emitter needs
+// to stream the payload in one pass of exactly payloadLen bytes.
+type plan struct {
+	opts      EncodeOptions
+	dict      *tagdict.Dict
+	info      *EncodeInfo
+	root      *nodeInfo
+	universe  skipindex.Set
+	dictImage []byte
+	// payloadLen is the exact total payload size, known up front — what
+	// lets the streaming encoder MAC the header before emitting blocks.
+	payloadLen int
 }
 
-func (e *encoder) annotate(n *xmlstream.Node) (*nodeInfo, error) {
-	code := e.dict.Code(n.Name)
+// newPlan runs the sizing pass.
+func newPlan(root *xmlstream.Node, opts EncodeOptions) (*plan, error) {
+	if root == nil || root.IsText() {
+		return nil, fmt.Errorf("docenc: document root must be an element")
+	}
+	if err := opts.normalize(); err != nil {
+		return nil, err
+	}
+	stats := xmlstream.CollectStats(root.Events())
+	dict, err := tagdict.FromCounts(stats.TagCounts)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{opts: opts, dict: dict, info: &EncodeInfo{Dict: dict}}
+	ni, err := p.annotate(root)
+	if err != nil {
+		return nil, err
+	}
+	p.root = ni
+	p.dictImage, err = dict.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	p.info.DictBytes = len(p.dictImage)
+	p.universe = skipindex.NewSet(dict.Len())
+	for i := 0; i < dict.Len(); i++ {
+		p.universe.Add(tagdict.Code(i))
+	}
+	p.payloadLen = len(p.dictImage) + p.recordSize(ni, p.universe)
+	return p, nil
+}
+
+// annotate computes tag sets and exact sizes bottom-up.
+func (p *plan) annotate(n *xmlstream.Node) (*nodeInfo, error) {
+	code := p.dict.Code(n.Name)
 	if code == tagdict.NoCode {
 		return nil, fmt.Errorf("docenc: tag %q missing from dictionary", n.Name)
 	}
-	info := &nodeInfo{node: n, code: code, tags: skipindex.NewSet(e.dict.Len())}
-	e.info.Nodes++
+	info := &nodeInfo{node: n, code: code, tags: skipindex.NewSet(p.dict.Len())}
+	p.info.Nodes++
 	for _, c := range n.Children {
 		if c.IsText() {
 			info.children = append(info.children, nil)
 			continue
 		}
-		ci, err := e.annotate(c)
+		ci, err := p.annotate(c)
 		if err != nil {
 			return nil, err
 		}
@@ -227,43 +273,216 @@ func (e *encoder) annotate(n *xmlstream.Node) (*nodeInfo, error) {
 		info.tags.Add(ci.code)
 		info.tags.UnionWith(ci.tags)
 	}
+	// Child record sizes are measured against this node's now-complete
+	// tag set (the recursive compression of the paper).
+	size := 0
+	for i, c := range n.Children {
+		if c.IsText() {
+			size += 1 + uvarintLen(uint64(len(c.Text))) + len(c.Text)
+			continue
+		}
+		size += p.recordSize(info.children[i], info.tags)
+	}
+	size++ // closing opcode
+	info.contentSize = size
+	info.indexed = !p.opts.DisableIndex && size >= p.opts.MinSkipBytes
 	return info, nil
 }
 
-// encodeNode appends the node's encoding to dst. parentTags is the
-// content tag set of the parent (the full universe for the root).
-func (e *encoder) encodeNode(dst []byte, info *nodeInfo, parentTags skipindex.Set) []byte {
-	var content []byte
+// recordSize is the exact encoded size of a node's record (open through
+// close) when emitted under parentTags.
+func (p *plan) recordSize(info *nodeInfo, parentTags skipindex.Set) int {
+	n := 1 + uvarintLen(uint64(info.code)) + info.contentSize
+	if info.indexed {
+		n += skipindex.MetaSize(skipindex.NodeMeta{
+			Tags:        info.tags,
+			ContentSize: info.contentSize,
+		}, parentTags)
+	}
+	return n
+}
+
+// emit streams the payload (dictionary, then the structure stream) to
+// write, front to back, filling in the byte-level EncodeInfo counters.
+func (p *plan) emit(write func([]byte) error) error {
+	if err := write(p.dictImage); err != nil {
+		return err
+	}
+	var scratch []byte
+	if err := p.emitNode(write, &scratch, p.root, p.universe); err != nil {
+		return err
+	}
+	p.info.PayloadBytes = p.payloadLen
+	return nil
+}
+
+// emitNode writes one node's record. scratch is a reused staging buffer
+// for the record header (opcodes, varints, index record); values stream
+// through unstaged.
+func (p *plan) emitNode(write func([]byte) error, scratch *[]byte, info *nodeInfo, parentTags skipindex.Set) error {
+	b := (*scratch)[:0]
+	if info.indexed {
+		b = append(b, opOpenMeta)
+		b = binary.AppendUvarint(b, uint64(info.code))
+		before := len(b)
+		b = skipindex.AppendMeta(b, skipindex.NodeMeta{
+			Tags:        info.tags,
+			ContentSize: info.contentSize,
+		}, parentTags)
+		p.info.IndexBytes += len(b) - before
+		p.info.FlatIndexBytes += (p.dict.Len()+7)/8 + uvarintLen(uint64(info.contentSize))
+		p.info.IndexedNodes++
+	} else {
+		b = append(b, opOpenPlain)
+		b = binary.AppendUvarint(b, uint64(info.code))
+	}
+	p.info.StructureBytes += 1 + uvarintLen(uint64(info.code)) + 1 // open, code, close
+	*scratch = b
+	if err := write(b); err != nil {
+		return err
+	}
 	for i, c := range info.node.Children {
 		if c.IsText() {
-			content = append(content, opValue)
-			content = binary.AppendUvarint(content, uint64(len(c.Text)))
-			content = append(content, c.Text...)
-			e.info.TextBytes += 1 + uvarintLen(uint64(len(c.Text))) + len(c.Text)
+			b = (*scratch)[:0]
+			b = append(b, opValue)
+			b = binary.AppendUvarint(b, uint64(len(c.Text)))
+			*scratch = b
+			if err := write(b); err != nil {
+				return err
+			}
+			if err := write([]byte(c.Text)); err != nil {
+				return err
+			}
+			p.info.TextBytes += 1 + uvarintLen(uint64(len(c.Text))) + len(c.Text)
 			continue
 		}
-		content = e.encodeNode(content, info.children[i], info.tags)
+		if err := p.emitNode(write, scratch, info.children[i], info.tags); err != nil {
+			return err
+		}
 	}
-	content = append(content, opClose)
+	return write(closeOp)
+}
 
-	indexed := !e.opts.DisableIndex && len(content) >= e.opts.MinSkipBytes
-	if indexed {
-		dst = append(dst, opOpenMeta)
-		dst = binary.AppendUvarint(dst, uint64(info.code))
-		before := len(dst)
-		dst = skipindex.AppendMeta(dst, skipindex.NodeMeta{
-			Tags:        info.tags,
-			ContentSize: len(content),
-		}, parentTags)
-		e.info.IndexBytes += len(dst) - before
-		e.info.FlatIndexBytes += (e.dict.Len()+7)/8 + uvarintLen(uint64(len(content)))
-		e.info.IndexedNodes++
-	} else {
-		dst = append(dst, opOpenPlain)
-		dst = binary.AppendUvarint(dst, uint64(info.code))
+// closeOp is the shared one-byte close record.
+var closeOp = []byte{opClose}
+
+// Encoder streams a document into an encrypted container in one
+// bounded-memory pass: the sizing walk fixes the geometry (so the header
+// can be MAC'd up front), then Run encodes, indexes and encrypts block
+// by block, handing each stored block to the caller as it is produced.
+// Nothing larger than one plaintext block is buffered — the publish path
+// can pipe a document straight onto the wire.
+type Encoder struct {
+	plan   *plan
+	header Header
+	ran    bool
+}
+
+// NewEncoder runs the sizing pass and seals the header.
+func NewEncoder(root *xmlstream.Node, opts EncodeOptions) (*Encoder, error) {
+	if opts.DocID == "" {
+		return nil, fmt.Errorf("docenc: DocID is required")
 	}
-	e.info.StructureBytes += 1 + uvarintLen(uint64(info.code)) + 1 // open, code, close
-	return append(dst, content...)
+	p, err := newPlan(root, opts)
+	if err != nil {
+		return nil, err
+	}
+	h := Header{
+		DocID:      p.opts.DocID,
+		Version:    p.opts.Version,
+		BlockPlain: uint32(p.opts.BlockPlain),
+		PayloadLen: uint64(p.payloadLen),
+	}
+	h.MAC = secure.HeaderMAC(p.opts.Key, h.canonical())
+	return &Encoder{plan: p, header: h}, nil
+}
+
+// Header returns the sealed container header (valid before Run: the
+// publish handshake sends it first).
+func (e *Encoder) Header() Header { return e.header }
+
+// NumBlocks reports how many stored blocks Run will emit.
+func (e *Encoder) NumBlocks() int { return e.header.NumBlocks() }
+
+// Info returns the encoding statistics. The node counts are final after
+// NewEncoder; the byte-level counters are final after Run (StoredBytes
+// is filled by Run as blocks leave).
+func (e *Encoder) Info() *EncodeInfo { return e.plan.info }
+
+// Run streams the stored blocks, in order, to emit. It can be called
+// once.
+func (e *Encoder) Run(emit func(idx int, stored []byte) error) error {
+	return e.runPlain(func(idx int, plain []byte) error {
+		stored, err := secure.EncryptBlock(e.plan.opts.Key, e.plan.opts.DocID,
+			e.plan.opts.Version, uint32(idx), plain)
+		if err != nil {
+			return err
+		}
+		e.plan.info.StoredBytes += len(stored)
+		return emit(idx, stored)
+	})
+}
+
+// runPlain streams the plaintext blocks (the delta differ hooks in here,
+// deciding per block whether re-encryption is needed at all).
+func (e *Encoder) runPlain(emit func(idx int, plain []byte) error) error {
+	if e.ran {
+		return fmt.Errorf("docenc: encoder already ran")
+	}
+	e.ran = true
+	hb, err := e.header.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	e.plan.info.StoredBytes = len(hb)
+	bb := &blockBuilder{
+		buf:  make([]byte, 0, e.plan.opts.BlockPlain),
+		emit: emit,
+	}
+	if err := e.plan.emit(bb.write); err != nil {
+		return err
+	}
+	if err := bb.flush(); err != nil {
+		return err
+	}
+	if bb.total != e.plan.payloadLen {
+		return fmt.Errorf("docenc: emitted %d payload bytes, sizing pass computed %d",
+			bb.total, e.plan.payloadLen)
+	}
+	return nil
+}
+
+// blockBuilder cuts the emitted payload stream into plaintext blocks.
+type blockBuilder struct {
+	buf   []byte
+	idx   int
+	total int
+	emit  func(idx int, plain []byte) error
+}
+
+func (b *blockBuilder) write(p []byte) error {
+	for len(p) > 0 {
+		n := copy(b.buf[len(b.buf):cap(b.buf)], p)
+		b.buf = b.buf[:len(b.buf)+n]
+		p = p[n:]
+		if len(b.buf) == cap(b.buf) {
+			if err := b.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (b *blockBuilder) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	b.total += len(b.buf)
+	err := b.emit(b.idx, b.buf)
+	b.idx++
+	b.buf = b.buf[:0]
+	return err
 }
 
 func uvarintLen(v uint64) int {

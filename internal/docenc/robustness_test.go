@@ -5,6 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/secure"
+	"repro/internal/skipindex"
+	"repro/internal/tagdict"
 	"repro/internal/workload"
 )
 
@@ -105,6 +108,139 @@ func TestSkipOverrunRejected(t *testing.T) {
 				t.Fatal("overrunning skip accepted")
 			}
 			return
+		}
+	}
+}
+
+// validHeaderImage builds a marshalled header with generation runs — the
+// richest header shape the parser accepts.
+func validHeaderImage(t *testing.T) []byte {
+	t.Helper()
+	h := Header{DocID: "robust-doc", Version: 9, BlockPlain: 128, PayloadLen: 1000,
+		GenRuns: []GenRun{{Count: 2, Gen: 3}, {Count: 5, Gen: 9}, {Count: 1, Gen: 7}}}
+	img, err := h.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// TestUnmarshalHeaderTruncated: every proper prefix of a valid header
+// must be rejected cleanly — the header is the first attacker-held input
+// the terminal parses.
+func TestUnmarshalHeaderTruncated(t *testing.T) {
+	img := validHeaderImage(t)
+	if _, n, err := UnmarshalHeader(img); err != nil || n != len(img) {
+		t.Fatalf("valid header rejected: n=%d err=%v", n, err)
+	}
+	for cut := 0; cut < len(img); cut++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("prefix of %d bytes: parser panicked: %v", cut, r)
+				}
+			}()
+			if _, _, err := UnmarshalHeader(img[:cut]); err == nil {
+				t.Fatalf("prefix of %d bytes accepted", cut)
+			}
+		}()
+	}
+}
+
+// TestUnmarshalHeaderBitFlips: random corruption must never panic, hang
+// or produce a header whose generation vector escapes its own geometry.
+func TestUnmarshalHeaderBitFlips(t *testing.T) {
+	img := validHeaderImage(t)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 2000; trial++ {
+		mutated := append([]byte(nil), img...)
+		for flips := 1 + rng.Intn(4); flips > 0; flips-- {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: parser panicked: %v", trial, r)
+				}
+			}()
+			h, _, err := UnmarshalHeader(mutated)
+			if err != nil {
+				return // rejected: fine (the MAC layer catches the rest)
+			}
+			// A parse that survives must stay internally consistent.
+			if h.BlockPlain == 0 {
+				t.Fatalf("trial %d: zero block size escaped validation", trial)
+			}
+			covered := 0
+			for _, r := range h.GenRuns {
+				if r.Gen > h.Version {
+					t.Fatalf("trial %d: generation %d beyond version %d", trial, r.Gen, h.Version)
+				}
+				covered += int(r.Count)
+			}
+			if len(h.GenRuns) > 0 && covered != h.NumBlocks() {
+				t.Fatalf("trial %d: %d-block gen vector over %d-block geometry", trial, covered, h.NumBlocks())
+			}
+			// BlockGen must stay total over the geometry.
+			for i := 0; i < h.NumBlocks() && i < 1<<12; i++ {
+				_ = h.BlockGen(i)
+			}
+		}()
+	}
+}
+
+// TestUnmarshalHeaderHostileRunCount: a generation-run count far beyond
+// the geometry must be rejected before any allocation is attempted.
+func TestUnmarshalHeaderHostileRunCount(t *testing.T) {
+	h := Header{DocID: "x", Version: 1, BlockPlain: 128, PayloadLen: 256}
+	base := h.canonical()
+	// canonical ends with uvarint(0) for "no runs"; rewrite the tail
+	// with a huge run count and no run data.
+	img := append(base[:len(base)-1], 0xff, 0xff, 0xff, 0xff, 0x7f)
+	img = append(img, make([]byte, secure.HeaderMACLen)...)
+	if _, _, err := UnmarshalHeader(img); err == nil {
+		t.Fatal("hostile run count accepted")
+	}
+}
+
+// TestDecodeMetaRobust: truncated and bit-flipped skip-index records
+// against assorted parent sets must error or decode, never panic; a
+// decoded record's tag set must stay inside the parent set (the decoder
+// stack's invariant).
+func TestDecodeMetaRobust(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 1000; trial++ {
+		n := 1 + rng.Intn(40)
+		parent := skipindex.NewSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				parent.Add(tagdict.Code(i))
+			}
+		}
+		child := skipindex.NewSet(n)
+		for i := 0; i < n; i++ {
+			if parent.Has(tagdict.Code(i)) && rng.Intn(2) == 0 {
+				child.Add(tagdict.Code(i))
+			}
+		}
+		img := skipindex.AppendMeta(nil, skipindex.NodeMeta{Tags: child, ContentSize: rng.Intn(1 << 20)}, parent)
+		// Truncations.
+		for cut := 0; cut < len(img); cut++ {
+			if _, _, err := skipindex.DecodeMeta(img[:cut], parent); err == nil {
+				t.Fatalf("trial %d: %d-byte prefix of a %d-byte record accepted", trial, cut, len(img))
+			}
+		}
+		// Bit flips: must never panic and never escape the parent set.
+		mutated := append([]byte(nil), img...)
+		if len(mutated) > 0 {
+			mutated[rng.Intn(len(mutated))] ^= byte(1 + rng.Intn(255))
+		}
+		meta, _, err := skipindex.DecodeMeta(mutated, parent)
+		if err != nil {
+			continue
+		}
+		if !meta.Tags.SubsetOf(parent) {
+			t.Fatalf("trial %d: decoded tag set escapes the parent set", trial)
 		}
 	}
 }

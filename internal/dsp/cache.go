@@ -50,6 +50,10 @@ type Cache struct {
 	// ids never grow the map.
 	gens sync.Map
 
+	// updDocs maps in-flight update tokens to their document id, so a
+	// commit knows which document to invalidate.
+	updDocs sync.Map
+
 	hits, misses, evictions atomic.Int64
 }
 
@@ -283,6 +287,61 @@ func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 	return out, nil
 }
 
+// BeginUpdate implements DocUpdater when the backing store does. The
+// token's document is remembered so the commit can invalidate it.
+func (c *Cache) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
+	up, ok := c.store.(DocUpdater)
+	if !ok {
+		return 0, ErrUpdateUnsupported
+	}
+	token, err := up.BeginUpdate(h, baseVersion)
+	if err != nil {
+		return 0, err
+	}
+	c.updDocs.Store(token, h.DocID)
+	return token, nil
+}
+
+// PutBlocks implements DocUpdater (pass-through; staged blocks are not
+// visible to readers, so the cache has nothing to do yet).
+func (c *Cache) PutBlocks(token uint64, start int, blocks [][]byte) error {
+	up, ok := c.store.(DocUpdater)
+	if !ok {
+		return ErrUpdateUnsupported
+	}
+	return up.PutBlocks(token, start, blocks)
+}
+
+// CommitUpdate implements DocUpdater: once the backing store has
+// atomically switched versions, the document's resident blocks are
+// retired by generation exactly as a whole-document re-put would —
+// in-flight fills of the superseded version abort on the bumped
+// generation, so readers never see mixed-version blocks linger.
+func (c *Cache) CommitUpdate(token uint64) error {
+	up, ok := c.store.(DocUpdater)
+	if !ok {
+		return ErrUpdateUnsupported
+	}
+	docID, _ := c.updDocs.LoadAndDelete(token)
+	if err := up.CommitUpdate(token); err != nil {
+		return err
+	}
+	if id, ok := docID.(string); ok && id != "" {
+		c.invalidate(id)
+	}
+	return nil
+}
+
+// AbortUpdate implements DocUpdater (pass-through).
+func (c *Cache) AbortUpdate(token uint64) error {
+	up, ok := c.store.(DocUpdater)
+	if !ok {
+		return ErrUpdateUnsupported
+	}
+	c.updDocs.Delete(token)
+	return up.AbortUpdate(token)
+}
+
 // PutRuleSet implements Store (pass-through).
 func (c *Cache) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
 	return c.store.PutRuleSet(docID, subject, version, sealed)
@@ -301,4 +360,5 @@ func (c *Cache) ListDocuments() ([]string, error) {
 var (
 	_ Store            = (*Cache)(nil)
 	_ BlockRangeReader = (*Cache)(nil)
+	_ DocUpdater       = (*Cache)(nil)
 )

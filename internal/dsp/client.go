@@ -27,6 +27,10 @@ type Client struct {
 	// bytesRead counts response payload bytes: the "transferred from the
 	// DSP" measure of experiment E3 when running against a real server.
 	bytesRead atomic.Int64
+	// bytesWritten counts request payload bytes: the upload cost of a
+	// publish — what experiment E11 compares between full and delta
+	// re-publication.
+	bytesWritten atomic.Int64
 }
 
 // Dial connects to a dspd server.
@@ -44,6 +48,9 @@ func (c *Client) Close() error { return c.conn.Close() }
 // BytesRead reports the response payload bytes received so far.
 func (c *Client) BytesRead() int64 { return c.bytesRead.Load() }
 
+// BytesWritten reports the request payload bytes sent so far.
+func (c *Client) BytesWritten() int64 { return c.bytesWritten.Load() }
+
 // roundTrip sends a request and decodes the status byte.
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	c.mu.Lock()
@@ -51,6 +58,7 @@ func (c *Client) roundTrip(req []byte) ([]byte, error) {
 	if err := writeFrame(c.conn, req); err != nil {
 		return nil, err
 	}
+	c.bytesWritten.Add(int64(len(req)))
 	resp, err := readFrame(c.conn)
 	if err != nil {
 		return nil, err
@@ -128,6 +136,53 @@ func (c *Client) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 	return out, nil
 }
 
+// BeginUpdate implements DocUpdater against a remote server.
+func (c *Client) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
+	hb, err := h.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	req := binary.AppendUvarint([]byte{opBeginUpdate}, uint64(baseVersion))
+	req = appendBytes(req, hb)
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	r := &wireReader{data: resp}
+	token := r.uvarint()
+	if r.err != nil {
+		return 0, r.err
+	}
+	return token, nil
+}
+
+// PutBlocks implements DocUpdater: one staged run per round trip.
+func (c *Client) PutBlocks(token uint64, start int, blocks [][]byte) error {
+	if start < 0 {
+		return fmt.Errorf("dsp: negative block offset %d", start)
+	}
+	req := binary.AppendUvarint([]byte{opPutBlocks}, token)
+	req = binary.AppendUvarint(req, uint64(start))
+	req = binary.AppendUvarint(req, uint64(len(blocks)))
+	for _, b := range blocks {
+		req = appendBytes(req, b)
+	}
+	_, err := c.roundTrip(req)
+	return err
+}
+
+// CommitUpdate implements DocUpdater.
+func (c *Client) CommitUpdate(token uint64) error {
+	_, err := c.roundTrip(binary.AppendUvarint([]byte{opCommitUpdate}, token))
+	return err
+}
+
+// AbortUpdate implements DocUpdater.
+func (c *Client) AbortUpdate(token uint64) error {
+	_, err := c.roundTrip(binary.AppendUvarint([]byte{opAbortUpdate}, token))
+	return err
+}
+
 // PutRuleSet implements Store.
 func (c *Client) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
 	req := appendString([]byte{opPutRuleSet}, docID)
@@ -166,4 +221,5 @@ func (c *Client) ListDocuments() ([]string, error) {
 var (
 	_ Store            = (*Client)(nil)
 	_ BlockRangeReader = (*Client)(nil)
+	_ DocUpdater       = (*Client)(nil)
 )

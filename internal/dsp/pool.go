@@ -33,9 +33,11 @@ type Pool struct {
 	open   []*Client // every live client, for Close and byte accounting
 	closed bool
 
-	// retiredBytes accumulates the counters of dropped connections so
-	// BytesRead stays monotonic across redials.
-	retiredBytes atomic.Int64
+	// retiredBytes / retiredWritten accumulate the counters of dropped
+	// connections so BytesRead and BytesWritten stay monotonic across
+	// redials.
+	retiredBytes   atomic.Int64
+	retiredWritten atomic.Int64
 }
 
 // DialPool connects size connections (<= 0: DefaultPoolSize) to a dspd
@@ -90,6 +92,7 @@ func (p *Pool) untrack(c *Client) {
 	// double-count its bytes.
 	if found {
 		p.retiredBytes.Add(c.BytesRead())
+		p.retiredWritten.Add(c.BytesWritten())
 	}
 	p.mu.Unlock()
 	_ = c.Close()
@@ -110,6 +113,18 @@ func (p *Pool) BytesRead() int64 {
 	return total
 }
 
+// BytesWritten sums the request payload bytes sent over the pool's
+// connections, past and present.
+func (p *Pool) BytesWritten() int64 {
+	total := p.retiredWritten.Load()
+	p.mu.Lock()
+	for _, c := range p.open {
+		total += c.BytesWritten()
+	}
+	p.mu.Unlock()
+	return total
+}
+
 // Close closes every pooled connection. In-flight calls finish with
 // transport errors; subsequent calls fail immediately.
 func (p *Pool) Close() error {
@@ -124,6 +139,7 @@ func (p *Pool) Close() error {
 	// Retire the live counters so BytesRead stays monotonic across Close.
 	for _, c := range open {
 		p.retiredBytes.Add(c.BytesRead())
+		p.retiredWritten.Add(c.BytesWritten())
 	}
 	p.mu.Unlock()
 	for _, c := range open {
@@ -210,6 +226,35 @@ func (p *Pool) ReadBlocks(docID string, start, count int) (bs [][]byte, err erro
 	return bs, err
 }
 
+// BeginUpdate implements DocUpdater. The update token is store-side
+// state, not connection state, so each op of the handshake may travel
+// over a different pooled connection.
+func (p *Pool) BeginUpdate(h docenc.Header, baseVersion uint32) (token uint64, err error) {
+	err = p.withConn(func(c *Client) error {
+		token, err = c.BeginUpdate(h, baseVersion)
+		return err
+	})
+	return token, err
+}
+
+// PutBlocks implements DocUpdater.
+func (p *Pool) PutBlocks(token uint64, start int, blocks [][]byte) error {
+	if start < 0 {
+		return fmt.Errorf("dsp: negative block offset %d", start)
+	}
+	return p.withConn(func(c *Client) error { return c.PutBlocks(token, start, blocks) })
+}
+
+// CommitUpdate implements DocUpdater.
+func (p *Pool) CommitUpdate(token uint64) error {
+	return p.withConn(func(c *Client) error { return c.CommitUpdate(token) })
+}
+
+// AbortUpdate implements DocUpdater.
+func (p *Pool) AbortUpdate(token uint64) error {
+	return p.withConn(func(c *Client) error { return c.AbortUpdate(token) })
+}
+
 // PutRuleSet implements Store.
 func (p *Pool) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
 	return p.withConn(func(c *Client) error { return c.PutRuleSet(docID, subject, version, sealed) })
@@ -236,4 +281,5 @@ func (p *Pool) ListDocuments() (ids []string, err error) {
 var (
 	_ Store            = (*Pool)(nil)
 	_ BlockRangeReader = (*Pool)(nil)
+	_ DocUpdater       = (*Pool)(nil)
 )

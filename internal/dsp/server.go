@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -281,6 +282,78 @@ func (s *Server) dispatch(req []byte) []byte {
 				"dsp: batch response of %d bytes exceeds frame limit; request fewer blocks", len(body)))
 		}
 		return okResponse(body)
+	case opBeginUpdate:
+		up, ok := s.store.(DocUpdater)
+		if !ok {
+			return errResponse(ErrUpdateUnsupported)
+		}
+		base := r.uvarint()
+		hb := r.bytes()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		// Versions are 32-bit; a wider wire value must fail loudly, not
+		// be truncated into a base the client never named.
+		if base > math.MaxUint32 {
+			return errResponse(fmt.Errorf("dsp: base version %d out of range", base))
+		}
+		h, _, err := docenc.UnmarshalHeader(hb)
+		if err != nil {
+			return errResponse(err)
+		}
+		token, err := up.BeginUpdate(h, uint32(base))
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(binary.AppendUvarint(nil, token))
+	case opPutBlocks:
+		up, ok := s.store.(DocUpdater)
+		if !ok {
+			return errResponse(ErrUpdateUnsupported)
+		}
+		token := r.uvarint()
+		start := r.uvarint()
+		count := r.uvarint()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		if count > maxBatchBlocks {
+			return errResponse(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
+		}
+		if start > 1<<31 {
+			return errResponse(fmt.Errorf("dsp: block offset %d out of range", start))
+		}
+		blocks := make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			b := r.bytes()
+			if r.err != nil {
+				return errResponse(r.err)
+			}
+			blocks = append(blocks, b)
+		}
+		if err := up.PutBlocks(token, int(start), blocks); err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
+	case opCommitUpdate, opAbortUpdate:
+		up, ok := s.store.(DocUpdater)
+		if !ok {
+			return errResponse(ErrUpdateUnsupported)
+		}
+		token := r.uvarint()
+		if r.err != nil {
+			return errResponse(r.err)
+		}
+		var err error
+		if op == opCommitUpdate {
+			err = up.CommitUpdate(token)
+		} else {
+			err = up.AbortUpdate(token)
+		}
+		if err != nil {
+			return errResponse(err)
+		}
+		return okResponse(nil)
 	case opPutRuleSet:
 		docID := r.string()
 		subject := r.string()

@@ -18,12 +18,31 @@
 package dsp
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/docenc"
 )
+
+// ErrUnknownDocument reports a read of a document the store does not
+// hold. Callers deciding between "absent" and "broken" (the streaming
+// publisher's create-or-update negotiation) must use IsUnknownDocument,
+// which also recognizes the error after a wire crossing.
+var ErrUnknownDocument = errors.New("dsp: unknown document")
+
+// IsUnknownDocument reports whether err means the document is absent —
+// locally (errors.Is) or as a server-reported error, which the wire
+// flattens to its message.
+func IsUnknownDocument(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrUnknownDocument) ||
+		strings.Contains(err.Error(), ErrUnknownDocument.Error())
+}
 
 // Store is the DSP interface terminals program against.
 type Store interface {
@@ -75,6 +94,12 @@ const DefaultShards = 16
 // concurrent readers of different documents never contend on one lock.
 type MemStore struct {
 	shards []memShard
+
+	// Staged block-level updates (see update.go); kept off the shard
+	// locks so an in-progress upload never blocks readers.
+	updMu   sync.Mutex
+	updSeq  uint64
+	updates map[uint64]*pendingUpdate
 }
 
 type memShard struct {
@@ -99,7 +124,7 @@ func NewMemStoreShards(n int) *MemStore {
 	if n < 1 {
 		n = 1
 	}
-	s := &MemStore{shards: make([]memShard, n)}
+	s := &MemStore{shards: make([]memShard, n), updates: make(map[uint64]*pendingUpdate)}
 	for i := range s.shards {
 		s.shards[i].docs = make(map[string]*docenc.Container)
 		s.shards[i].rules = make(map[string]ruleEntry)
@@ -150,7 +175,7 @@ func (s *MemStore) Header(docID string) (docenc.Header, error) {
 	defer sh.mu.RUnlock()
 	c, ok := sh.docs[docID]
 	if !ok {
-		return docenc.Header{}, fmt.Errorf("dsp: unknown document %q", docID)
+		return docenc.Header{}, fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
 	}
 	return c.Header, nil
 }
@@ -162,7 +187,7 @@ func (s *MemStore) ReadBlock(docID string, idx int) ([]byte, error) {
 	defer sh.mu.RUnlock()
 	c, ok := sh.docs[docID]
 	if !ok {
-		return nil, fmt.Errorf("dsp: unknown document %q", docID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
 	}
 	if idx < 0 || idx >= len(c.Blocks) {
 		return nil, fmt.Errorf("dsp: block %d out of range [0,%d) for %q", idx, len(c.Blocks), docID)
@@ -177,7 +202,7 @@ func (s *MemStore) ReadBlocks(docID string, start, count int) ([][]byte, error) 
 	defer sh.mu.RUnlock()
 	c, ok := sh.docs[docID]
 	if !ok {
-		return nil, fmt.Errorf("dsp: unknown document %q", docID)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
 	}
 	// Bounds are checked without computing start+count, which a hostile
 	// wire request can overflow.
@@ -188,6 +213,23 @@ func (s *MemStore) ReadBlocks(docID string, start, count int) ([][]byte, error) 
 	out := make([][]byte, count)
 	copy(out, c.Blocks[start:start+count])
 	return out, nil
+}
+
+// Snapshot returns the stored container of a document: the header plus
+// a copied block list (the block payloads are shared and must be treated
+// as read-only). Persistence layers shadowing a MemStore use it to see
+// the outcome of a block-level update they did not assemble themselves.
+func (s *MemStore) Snapshot(docID string) (*docenc.Container, error) {
+	sh := s.shard(docID)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	c, ok := sh.docs[docID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
+	}
+	cp := &docenc.Container{Header: c.Header}
+	cp.Blocks = append(cp.Blocks, c.Blocks...)
+	return cp, nil
 }
 
 // PutRuleSet implements Store. The store keeps only the latest version it
@@ -243,7 +285,7 @@ func (s *MemStore) Tamper(docID string, blockIdx, byteIdx int) error {
 	defer sh.mu.Unlock()
 	c, ok := sh.docs[docID]
 	if !ok {
-		return fmt.Errorf("dsp: unknown document %q", docID)
+		return fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
 	}
 	if blockIdx < 0 || blockIdx >= len(c.Blocks) {
 		return fmt.Errorf("dsp: block %d out of range", blockIdx)
@@ -264,7 +306,7 @@ func (s *MemStore) SwapBlocks(docID string, i, j int) error {
 	defer sh.mu.Unlock()
 	c, ok := sh.docs[docID]
 	if !ok {
-		return fmt.Errorf("dsp: unknown document %q", docID)
+		return fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
 	}
 	if i < 0 || j < 0 || i >= len(c.Blocks) || j >= len(c.Blocks) {
 		return fmt.Errorf("dsp: block index out of range")

@@ -1,0 +1,224 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/docenc"
+)
+
+// ErrUpdateUnsupported reports a store without the block-patch protocol;
+// callers fall back to a whole-container PutDocument.
+var ErrUpdateUnsupported = errors.New("dsp: store does not support block updates")
+
+// DocUpdater is implemented by stores that support the atomic
+// block-level update handshake behind delta re-publish:
+//
+//	token := BeginUpdate(newHeader, baseVersion)
+//	PutBlocks(token, run.Start, run.Blocks)   // once per changed run
+//	CommitUpdate(token)                       // or AbortUpdate
+//
+// Begin stages an update against the version the publisher diffed from;
+// Commit applies header and staged blocks in one atomic step, reusing
+// every unstaged block of the previous version — so a delta re-publish
+// moves only the changed bytes over the wire. A concurrent publication
+// that bumps the version between Begin and Commit makes the Commit fail
+// (optimistic concurrency); nothing is partially applied. BeginUpdate
+// with baseVersion 0 against an absent document creates it, in which
+// case every block must be staged.
+type DocUpdater interface {
+	BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error)
+	PutBlocks(token uint64, start int, blocks [][]byte) error
+	CommitUpdate(token uint64) error
+	AbortUpdate(token uint64) error
+}
+
+// maxPendingUpdates bounds staged updates per store: an abandoned
+// handshake (client crash between Begin and Commit) must not let hostile
+// or buggy clients grow server memory without bound. Hitting the bound
+// evicts the oldest staged update (see BeginUpdate).
+const maxPendingUpdates = 64
+
+// pendingUpdate is one staged (uncommitted) document update.
+type pendingUpdate struct {
+	header docenc.Header
+	base   uint32
+	blocks map[int][]byte
+}
+
+// BeginUpdate implements DocUpdater.
+func (s *MemStore) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
+	if h.DocID == "" || h.BlockPlain == 0 {
+		return 0, fmt.Errorf("dsp: update header without document id or geometry")
+	}
+	sh := s.shard(h.DocID)
+	sh.mu.RLock()
+	cur, exists := sh.docs[h.DocID]
+	var curVersion uint32
+	if exists {
+		curVersion = cur.Header.Version
+	}
+	sh.mu.RUnlock()
+	if exists && curVersion != baseVersion {
+		return 0, fmt.Errorf("dsp: document %q is at version %d, update is against %d",
+			h.DocID, curVersion, baseVersion)
+	}
+	if !exists && baseVersion != 0 {
+		return 0, fmt.Errorf("%w: %q (update against version %d)", ErrUnknownDocument, h.DocID, baseVersion)
+	}
+	if exists && h.Version <= curVersion {
+		return 0, fmt.Errorf("dsp: update version %d does not advance stored version %d",
+			h.Version, curVersion)
+	}
+
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	// At capacity the oldest staged update is evicted rather than the
+	// new one refused: a client that crashed between Begin and Commit
+	// must not be able to brick the update path for everyone until a
+	// server restart. The evicted update's owner, if it is somehow still
+	// alive, sees "unknown token" at its next op and restarts — the same
+	// optimistic-retry outcome as a version conflict.
+	for len(s.updates) >= maxPendingUpdates {
+		oldest := uint64(0)
+		for t := range s.updates {
+			if oldest == 0 || t < oldest {
+				oldest = t
+			}
+		}
+		delete(s.updates, oldest)
+	}
+	s.updSeq++
+	token := s.updSeq
+	s.updates[token] = &pendingUpdate{header: h, base: baseVersion, blocks: make(map[int][]byte)}
+	return token, nil
+}
+
+// PutBlocks implements DocUpdater: it stages one run of stored blocks.
+// Lengths are validated against the new header's geometry — the store
+// cannot check ciphertext (it holds no keys), but it can refuse blocks
+// that could never decrypt.
+func (s *MemStore) PutBlocks(token uint64, start int, blocks [][]byte) error {
+	if start < 0 {
+		return fmt.Errorf("dsp: negative block offset %d", start)
+	}
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	up, ok := s.updates[token]
+	if !ok {
+		return fmt.Errorf("dsp: unknown update token %d", token)
+	}
+	n := up.header.NumBlocks()
+	if start > n || len(blocks) > n-start {
+		return fmt.Errorf("dsp: block run [%d,+%d) outside the %d-block geometry", start, len(blocks), n)
+	}
+	for i, b := range blocks {
+		if want := up.header.BlockStoredLen(start + i); len(b) != want {
+			return fmt.Errorf("dsp: staged block %d has %d bytes, geometry says %d", start+i, len(b), want)
+		}
+	}
+	for i, b := range blocks {
+		up.blocks[start+i] = b
+	}
+	return nil
+}
+
+// CommitUpdate implements DocUpdater: the staged blocks and the new
+// header replace the document in one step under the shard lock. Blocks
+// not staged are carried over from the committed base version; a missing
+// block (staged nor carryable) fails the whole commit.
+func (s *MemStore) CommitUpdate(token uint64) error {
+	s.updMu.Lock()
+	up, ok := s.updates[token]
+	delete(s.updates, token) // a failed commit retires the update too
+	s.updMu.Unlock()
+	if !ok {
+		return fmt.Errorf("dsp: unknown update token %d", token)
+	}
+
+	sh := s.shard(up.header.DocID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, exists := sh.docs[up.header.DocID]
+	if exists && old.Header.Version != up.base {
+		return fmt.Errorf("dsp: document %q moved to version %d during the update against %d",
+			up.header.DocID, old.Header.Version, up.base)
+	}
+	if !exists && up.base != 0 {
+		return fmt.Errorf("dsp: document %q vanished during the update", up.header.DocID)
+	}
+	n := up.header.NumBlocks()
+	blocks := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		if b, ok := up.blocks[i]; ok {
+			blocks[i] = b
+			continue
+		}
+		if exists && i < len(old.Blocks) && len(old.Blocks[i]) == up.header.BlockStoredLen(i) {
+			blocks[i] = old.Blocks[i]
+			continue
+		}
+		return fmt.Errorf("dsp: update of %q leaves block %d missing", up.header.DocID, i)
+	}
+	sh.docs[up.header.DocID] = &docenc.Container{Header: up.header, Blocks: blocks}
+	return nil
+}
+
+// AbortUpdate implements DocUpdater.
+func (s *MemStore) AbortUpdate(token uint64) error {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	if _, ok := s.updates[token]; !ok {
+		return fmt.Errorf("dsp: unknown update token %d", token)
+	}
+	delete(s.updates, token)
+	return nil
+}
+
+// maxPutBatchBytes bounds one PutBlocks request built by ApplyDelta well
+// under the frame limit.
+const maxPutBatchBytes = 4 << 20
+
+// ApplyDelta uploads a DeltaUpdate atomically through the update
+// handshake, cutting long runs into batches that respect the wire
+// limits. A store without DocUpdater gets ErrUpdateUnsupported — the
+// caller decides whether a full PutDocument is an acceptable fallback.
+func ApplyDelta(s Store, d *docenc.DeltaUpdate) error {
+	up, ok := s.(DocUpdater)
+	if !ok {
+		return ErrUpdateUnsupported
+	}
+	token, err := up.BeginUpdate(d.Header, d.BaseVersion)
+	if err != nil {
+		return err
+	}
+	abort := func(err error) error {
+		_ = up.AbortUpdate(token)
+		return err
+	}
+	for _, run := range d.Runs {
+		off := 0
+		for off < len(run.Blocks) {
+			end, bytes := off, 0
+			for end < len(run.Blocks) && end-off < maxBatchBlocks {
+				bytes += len(run.Blocks[end])
+				if bytes > maxPutBatchBytes && end > off {
+					break
+				}
+				end++
+			}
+			if err := up.PutBlocks(token, run.Start+off, run.Blocks[off:end]); err != nil {
+				return abort(err)
+			}
+			off = end
+		}
+	}
+	if err := up.CommitUpdate(token); err != nil {
+		// Commit retires the token itself; aborting again is harmless
+		// but pointless.
+		return err
+	}
+	return nil
+}
+
+var _ DocUpdater = (*MemStore)(nil)

@@ -21,6 +21,14 @@ const (
 	// request is docID, start, count; response body is count
 	// length-prefixed blocks.
 	opReadBlocks = 7
+	// The block-level update handshake (delta re-publish): opBeginUpdate
+	// stages a new header against a base version and returns a token;
+	// opPutBlocks stages one run of stored blocks; opCommitUpdate applies
+	// everything atomically (opAbortUpdate discards it). See DocUpdater.
+	opBeginUpdate  = 8
+	opPutBlocks    = 9
+	opCommitUpdate = 10
+	opAbortUpdate  = 11
 )
 
 // maxBatchBlocks bounds one opReadBlocks run: large enough for any skip

@@ -87,6 +87,14 @@ type tenant struct {
 	// provisioned records the documents this card holds key+rules for.
 	provisioned map[string]bool
 
+	// docVersions records, per document, the latest version a query of
+	// this subject was served from. A served version above the record
+	// means the document was re-published underneath the fleet: the
+	// gateway then refreshes the subject's rules the same way
+	// RefreshRules does, since policy changes typically ride along with
+	// content changes (Section 5's update model).
+	docVersions map[string]uint32
+
 	stats SubjectStats
 }
 
@@ -99,6 +107,9 @@ type SubjectStats struct {
 	// BlocksFetched / BlocksWasted aggregate the terminal-side transfer.
 	BlocksFetched int64
 	BlocksWasted  int64
+	// VersionRefreshes counts rule refreshes triggered by an observed
+	// document version bump (delta or full re-publication).
+	VersionRefreshes int64
 	// Meter is the summed card work across the subject's queries.
 	Meter card.Meter
 }
@@ -160,7 +171,34 @@ func (g *Gateway) Query(subject, docID, query string) (*proxy.Result, error) {
 	tn.stats.BlocksFetched += int64(res.Stats.BlocksFetched)
 	tn.stats.BlocksWasted += int64(res.Stats.BlocksWasted)
 	tn.stats.Meter.Add(res.Stats.Meter)
+	g.noteVersionLocked(tn, subject, docID, res.Version)
 	return res, nil
+}
+
+// noteVersionLocked records the version a query was served from. On a
+// bump past the recorded version the subject's sealed rule set is
+// re-pulled and re-installed — the same path RefreshRules takes, driven
+// by the document instead of the operator. The caller holds the tenant
+// lock. A failed refresh is counted but does not fail the query that
+// observed the bump (the card keeps filtering under its installed rules,
+// which the card's own version check guarantees are not rolled back).
+func (g *Gateway) noteVersionLocked(tn *tenant, subject, docID string, version uint32) {
+	last, seen := tn.docVersions[docID]
+	if seen && version <= last {
+		// Never regress the record: a stale replica (or a malicious
+		// store) serving an older version must not prime a spurious
+		// "bump" on the next honestly-served query.
+		return
+	}
+	tn.docVersions[docID] = version
+	if !seen {
+		return
+	}
+	if err := g.installRulesLocked(tn, subject, docID); err != nil {
+		tn.stats.Errors++
+		return
+	}
+	tn.stats.VersionRefreshes++
 }
 
 // tenant returns (creating if needed) the subject's fleet slot.
@@ -175,11 +213,30 @@ func (g *Gateway) tenant(subject string) (*tenant, error) {
 		tn = &tenant{
 			card:        card.New(g.cfg.Profile),
 			provisioned: make(map[string]bool),
+			docVersions: make(map[string]uint32),
 		}
 		tn.stats.Subject = subject
 		g.cards[subject] = tn
 	}
 	return tn, nil
+}
+
+// ObservedDocVersion reports the latest document version served to the
+// subject, -1 when the subject never queried the document.
+func (g *Gateway) ObservedDocVersion(subject, docID string) int64 {
+	g.mu.Lock()
+	tn, ok := g.cards[subject]
+	g.mu.Unlock()
+	if !ok {
+		return -1
+	}
+	tn.mu.Lock()
+	defer tn.mu.Unlock()
+	v, seen := tn.docVersions[docID]
+	if !seen {
+		return -1
+	}
+	return int64(v)
 }
 
 // provisionLocked installs the document key and the subject's sealed

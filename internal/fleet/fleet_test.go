@@ -11,6 +11,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/secure"
 	"repro/internal/workload"
+	"repro/internal/xmlstream"
 )
 
 // testWorld publishes a few documents with per-subject rule sets and
@@ -216,6 +217,74 @@ func TestGatewayRefreshRules(t *testing.T) {
 	// rollback error.
 	if err := g.RefreshRules("nurse", docID); err != nil {
 		t.Errorf("idempotent refresh failed: %v", err)
+	}
+}
+
+// TestGatewayDocVersionRefresh: a delta re-publication bumps the served
+// version; the gateway notices on the next query and refreshes the
+// subject's rules exactly as RefreshRules would.
+func TestGatewayDocVersionRefresh(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	defer g.Close()
+	docID := w.docs[0]
+
+	res, err := g.Query("nurse", docID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ObservedDocVersion("nurse", docID); got != int64(res.Version) {
+		t.Fatalf("observed version %d, served %d", got, res.Version)
+	}
+	v1 := g.RuleVersion("nurse", docID)
+
+	// The owner re-publishes the document (delta) and re-grants tighter
+	// rules alongside, the paper's combined update.
+	pub := &proxy.Publisher{Store: w.store}
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 40, Patients: 6, VisitsPerPatient: 3})
+	doc.Children = append(doc.Children, &xmlstream.Node{Name: "amendment",
+		Children: []*xmlstream.Node{{Text: "revised after audit"}}})
+	ri, err := pub.Republish(doc, docenc.EncodeOptions{DocID: docID, Key: w.keys[docID]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := workload.MustParseRules("subject nurse\ndefault -\n+ //name")
+	strict.DocID = docID
+	strict.Version = uint32(v1) + 1
+	if err := pub.GrantRules(w.keys[docID], strict); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := g.Query("nurse", docID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Version != ri.Version {
+		t.Fatalf("served version %d after republish to %d", res2.Version, ri.Version)
+	}
+	st := g.SubjectStats("nurse")
+	if st.VersionRefreshes != 1 {
+		t.Fatalf("version refreshes = %d, want 1", st.VersionRefreshes)
+	}
+	if v2 := g.RuleVersion("nurse", docID); v2 != v1+1 {
+		t.Fatalf("rule version %d after version-bump refresh, want %d", v2, v1+1)
+	}
+	if got := g.ObservedDocVersion("nurse", docID); got != int64(ri.Version) {
+		t.Fatalf("observed version %d, want %d", got, ri.Version)
+	}
+	// Note: the refreshed (stricter) rules apply from the NEXT session;
+	// the query that observed the bump ran under the rules installed at
+	// its start. A follow-up query filters under the new policy.
+	res3, err := g.Query("nurse", docID, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.XML() == res2.XML() {
+		t.Fatal("stricter refreshed rules did not change the delivered view")
+	}
+	st = g.SubjectStats("nurse")
+	if st.VersionRefreshes != 1 {
+		t.Fatalf("steady-state query counted a refresh: %d", st.VersionRefreshes)
 	}
 }
 

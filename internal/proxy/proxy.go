@@ -17,12 +17,9 @@ package proxy
 import (
 	"fmt"
 
-	"repro/internal/accessrule"
 	"repro/internal/card"
 	"repro/internal/core"
-	"repro/internal/docenc"
 	"repro/internal/dsp"
-	"repro/internal/secure"
 	"repro/internal/soe"
 	"repro/internal/tagdict"
 	"repro/internal/xmlstream"
@@ -79,6 +76,10 @@ type ResultStats struct {
 type Result struct {
 	// Tree is the authorized result (nil when nothing is visible).
 	Tree *xmlstream.Node
+	// Version is the document version the query was served from (the
+	// authenticated header's version) — what lets a gateway detect that
+	// a document moved underneath its fleet.
+	Version uint32
 	// Stats describes the query's cost.
 	Stats ResultStats
 }
@@ -149,7 +150,7 @@ func (t *Terminal) Query(subject, docID, query string) (*Result, error) {
 	stats.Meter = t.Card.Meter.Sub(meterBefore)
 	stats.Time = stats.Meter.Price(t.Card.Profile)
 	stats.PendingEvents, stats.PendingBytes = col.PendingLoad()
-	return &Result{Tree: tree, Stats: stats}, nil
+	return &Result{Tree: tree, Version: header.Version, Stats: stats}, nil
 }
 
 // runSerial is the historical pull loop: one store round trip per block
@@ -191,45 +192,6 @@ func (t *Terminal) InstallRules(subject, docID string) error {
 		return err
 	}
 	return t.Card.PutSealedRuleSet(docID, subject, sealed)
-}
-
-// Publisher is the document-owner side: it encodes documents and seals
-// rule sets for the DSP.
-type Publisher struct {
-	Store dsp.Store
-}
-
-// PublishDocument encodes and uploads a document.
-func (p *Publisher) PublishDocument(root *xmlstream.Node, opts docenc.EncodeOptions) (*docenc.EncodeInfo, error) {
-	container, info, err := docenc.Encode(root, opts)
-	if err != nil {
-		return nil, err
-	}
-	if err := p.Store.PutDocument(container); err != nil {
-		return nil, err
-	}
-	return info, nil
-}
-
-// GrantRules seals a rule set under the document key and uploads it. The
-// rule set's DocID must match; its version should increase on every
-// change (the card refuses rollbacks).
-func (p *Publisher) GrantRules(key secure.DocKey, rs *accessrule.RuleSet) error {
-	if err := rs.Validate(); err != nil {
-		return err
-	}
-	if rs.DocID == "" {
-		return fmt.Errorf("proxy: rule set must name its document")
-	}
-	plain, err := rs.MarshalBinary()
-	if err != nil {
-		return err
-	}
-	sealed, err := secure.EncryptBlob(key, card.RuleBlobNamespace(rs.DocID, rs.Subject), 0, plain)
-	if err != nil {
-		return err
-	}
-	return p.Store.PutRuleSet(rs.DocID, rs.Subject, rs.Version, sealed)
 }
 
 // Collector is the terminal-side record sink: it grows a name table from

@@ -1,0 +1,254 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/accessrule"
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/secure"
+	"repro/internal/xmlstream"
+)
+
+// Publisher is the document-owner side: it encodes documents and seals
+// rule sets for the DSP. Three publish shapes:
+//
+//   - PublishDocument: the historical buffered one-shot — encode the
+//     whole container in memory, upload it in one PutDocument.
+//   - PublishStream: the io-driven path — the streaming encoder hands
+//     blocks to the store's update handshake as they are produced, so
+//     memory stays bounded regardless of document size.
+//   - Republish: the delta path — encode the new tree as the successor
+//     of the stored version and upload only the changed block runs,
+//     atomically, with the version negotiated from the store.
+type Publisher struct {
+	Store dsp.Store
+}
+
+// streamBatchBlocks bounds one PutBlocks round trip of the streaming
+// publish path.
+const streamBatchBlocks = 256
+
+// streamBatchBytes bounds the staged bytes of one round trip, well under
+// the wire frame limit even with maximal blocks.
+const streamBatchBytes = 4 << 20
+
+// PublishDocument encodes and uploads a document in one buffered step.
+func (p *Publisher) PublishDocument(root *xmlstream.Node, opts docenc.EncodeOptions) (*docenc.EncodeInfo, error) {
+	container, info, err := docenc.Encode(root, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.Store.PutDocument(container); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// PublishStream encodes and uploads a document in a single streaming
+// pass: blocks leave for the store as the encoder produces them, through
+// the begin/commit handshake, so the upload is atomic and nothing larger
+// than one batch is resident. When the document already exists its
+// version is negotiated (opts.Version 0 means "stored version plus
+// one"); a store without the handshake falls back to the buffered path.
+func (p *Publisher) PublishStream(root *xmlstream.Node, opts docenc.EncodeOptions) (*docenc.EncodeInfo, error) {
+	base, exists, err := p.currentVersion(opts.DocID)
+	if err != nil {
+		return nil, err
+	}
+	if exists {
+		if opts.Version == 0 {
+			opts.Version = base + 1
+		} else if opts.Version <= base {
+			return nil, fmt.Errorf("proxy: publish version %d does not advance stored version %d",
+				opts.Version, base)
+		}
+	}
+
+	up, ok := p.Store.(dsp.DocUpdater)
+	if !ok {
+		return p.PublishDocument(root, opts)
+	}
+	enc, err := docenc.NewEncoder(root, opts)
+	if err != nil {
+		return nil, err
+	}
+	if !exists {
+		base = 0
+	}
+	token, err := up.BeginUpdate(enc.Header(), base)
+	if err != nil {
+		return nil, err
+	}
+	batch := newBlockBatcher(up, token)
+	if err := enc.Run(batch.add); err != nil {
+		_ = up.AbortUpdate(token)
+		return nil, err
+	}
+	if err := batch.flush(); err != nil {
+		_ = up.AbortUpdate(token)
+		return nil, err
+	}
+	if err := up.CommitUpdate(token); err != nil {
+		return nil, err
+	}
+	return enc.Info(), nil
+}
+
+// blockBatcher groups the encoder's sequential blocks into bounded
+// PutBlocks round trips.
+type blockBatcher struct {
+	up    dsp.DocUpdater
+	token uint64
+	start int
+	buf   [][]byte
+	bytes int
+}
+
+func newBlockBatcher(up dsp.DocUpdater, token uint64) *blockBatcher {
+	return &blockBatcher{up: up, token: token, start: -1}
+}
+
+func (b *blockBatcher) add(idx int, stored []byte) error {
+	if b.start < 0 {
+		b.start = idx
+	}
+	// The encoder owns no buffer for stored blocks (EncryptBlock
+	// allocates), so retaining the slice is safe.
+	b.buf = append(b.buf, stored)
+	b.bytes += len(stored)
+	if len(b.buf) >= streamBatchBlocks || b.bytes >= streamBatchBytes {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *blockBatcher) flush() error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	err := b.up.PutBlocks(b.token, b.start, b.buf)
+	b.start, b.buf, b.bytes = -1, b.buf[:0], 0
+	return err
+}
+
+// RepublishInfo describes a delta re-publication.
+type RepublishInfo struct {
+	// Info is the encoding breakdown of the new version.
+	Info *docenc.EncodeInfo
+	// Version is the committed successor version.
+	Version uint32
+	// TotalBlocks / ChangedBlocks: the delta's shrinkage.
+	TotalBlocks   int
+	ChangedBlocks int
+	// ChangedRuns counts the contiguous runs the changes coalesced into
+	// (one PutBlocks round trip each, batching aside).
+	ChangedRuns int
+	// BytesUploaded is the stored block bytes that actually travelled
+	// (the whole container when Fallback).
+	BytesUploaded int64
+	// Fallback reports that the store lacks the block-patch protocol and
+	// the new version went up as a whole container.
+	Fallback bool
+}
+
+// Republish encodes root as the successor of the stored version of
+// opts.DocID and uploads only the changed blocks, atomically. The stored
+// container is fetched and authenticated (under opts.Key) before it is
+// trusted as the diff base, so a tampering store cannot poison the new
+// version; the version is negotiated: stored version plus one.
+func (p *Publisher) Republish(root *xmlstream.Node, opts docenc.EncodeOptions) (*RepublishInfo, error) {
+	if opts.DocID == "" {
+		return nil, fmt.Errorf("proxy: republish needs a DocID")
+	}
+	h, err := p.Store.Header(opts.DocID)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: republish base: %w", err)
+	}
+	blocks, err := dsp.ReadBlockRange(p.Store, opts.DocID, 0, h.NumBlocks())
+	if err != nil {
+		return nil, fmt.Errorf("proxy: republish base: %w", err)
+	}
+	old := &docenc.Container{Header: h, Blocks: blocks}
+
+	delta, info, err := docenc.DiffEncode(root, opts, old)
+	if err != nil {
+		return nil, err
+	}
+	ri := &RepublishInfo{
+		Info:          info,
+		Version:       delta.Header.Version,
+		TotalBlocks:   delta.TotalBlocks,
+		ChangedBlocks: delta.ChangedBlocks,
+		ChangedRuns:   len(delta.Runs),
+		BytesUploaded: delta.BytesChanged,
+	}
+	switch err := dsp.ApplyDelta(p.Store, delta); {
+	case err == nil:
+		return ri, nil
+	case updateUnsupported(err):
+		applied, err := delta.Apply(old)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.Store.PutDocument(applied); err != nil {
+			return nil, err
+		}
+		ri.Fallback = true
+		ri.BytesUploaded = int64(applied.StoredSize())
+		return ri, nil
+	default:
+		return nil, err
+	}
+}
+
+// updateUnsupported recognizes dsp.ErrUpdateUnsupported locally and
+// through a server's error response (which flattens it to a string).
+func updateUnsupported(err error) bool {
+	return errors.Is(err, dsp.ErrUpdateUnsupported) ||
+		strings.Contains(err.Error(), dsp.ErrUpdateUnsupported.Error())
+}
+
+// currentVersion probes the stored version of a document. Only a
+// definite "unknown document" answer reads as absent; any other header
+// failure (transport, server fault) aborts the publish — treating it as
+// absent would let the fallback path silently overwrite an existing
+// document at version 0.
+func (p *Publisher) currentVersion(docID string) (uint32, bool, error) {
+	if docID == "" {
+		return 0, false, fmt.Errorf("proxy: publish needs a DocID")
+	}
+	h, err := p.Store.Header(docID)
+	switch {
+	case err == nil:
+		return h.Version, true, nil
+	case dsp.IsUnknownDocument(err):
+		return 0, false, nil
+	default:
+		return 0, false, fmt.Errorf("proxy: probing the stored version: %w", err)
+	}
+}
+
+// GrantRules seals a rule set under the document key and uploads it. The
+// rule set's DocID must match; its version should increase on every
+// change (the card refuses rollbacks).
+func (p *Publisher) GrantRules(key secure.DocKey, rs *accessrule.RuleSet) error {
+	if err := rs.Validate(); err != nil {
+		return err
+	}
+	if rs.DocID == "" {
+		return fmt.Errorf("proxy: rule set must name its document")
+	}
+	plain, err := rs.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	sealed, err := secure.EncryptBlob(key, card.RuleBlobNamespace(rs.DocID, rs.Subject), 0, plain)
+	if err != nil {
+		return err
+	}
+	return p.Store.PutRuleSet(rs.DocID, rs.Subject, rs.Version, sealed)
+}

@@ -1,0 +1,214 @@
+package proxy
+
+import (
+	"testing"
+
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/secure"
+	"repro/internal/workload"
+	"repro/internal/xmlstream"
+)
+
+// republishWorld is one publish/provision/query fixture.
+type republishWorld struct {
+	store dsp.Store
+	pub   *Publisher
+	key   secure.DocKey
+	term  *Terminal
+}
+
+func newRepublishWorld(t *testing.T, store dsp.Store, doc *xmlstream.Node, docID, rules string) *republishWorld {
+	t.Helper()
+	w := &republishWorld{
+		store: store,
+		pub:   &Publisher{Store: store},
+		key:   secure.KeyFromSeed("republish:" + docID),
+	}
+	if _, err := w.pub.PublishDocument(doc, docenc.EncodeOptions{
+		DocID: docID, Key: w.key, BlockPlain: 128, MinSkipBytes: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs := workload.MustParseRules(rules)
+	rs.DocID = docID
+	if err := w.pub.GrantRules(w.key, rs); err != nil {
+		t.Fatal(err)
+	}
+	c := card.New(card.Modern)
+	if err := c.PutKey(docID, w.key); err != nil {
+		t.Fatal(err)
+	}
+	w.term = &Terminal{Store: store, Card: c}
+	if err := w.term.InstallRules(rs.Subject, docID); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mutateTexts(root *xmlstream.Node, every int) *xmlstream.Node {
+	cp := &xmlstream.Node{Name: root.Name, Text: root.Text}
+	for _, c := range root.Children {
+		cp.Children = append(cp.Children, mutateTexts(c, 0))
+	}
+	if every > 0 {
+		n := 0
+		var walk func(*xmlstream.Node)
+		walk = func(x *xmlstream.Node) {
+			for _, c := range x.Children {
+				if c.IsText() {
+					if n++; n%every == 0 && len(c.Text) > 0 {
+						b := []byte(c.Text)
+						for i := range b {
+							b[i] = 'a' + (b[i]+11)%26
+						}
+						c.Text = string(b)
+					}
+					continue
+				}
+				walk(c)
+			}
+		}
+		walk(cp)
+	}
+	return cp
+}
+
+// TestRepublishDeltaEqualsFull is the differential acceptance check: a
+// terminal reading version N+1 after a delta re-publish must produce
+// byte-identical output to one reading a full re-publication of the same
+// tree at the same version.
+func TestRepublishDeltaEqualsFull(t *testing.T) {
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 55, Patients: 10, VisitsPerPatient: 3})
+	mutated := mutateTexts(doc, 12)
+	const rules = "subject nurse\ndefault +\n- //ssn\n- //report"
+
+	// World A: publish v0, delta re-publish the mutation.
+	a := newRepublishWorld(t, dsp.NewMemStore(), doc, "folder", rules)
+	before, err := a.term.Query("nurse", "folder", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := a.pub.Republish(mutated, docenc.EncodeOptions{DocID: "folder", Key: a.key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Fallback {
+		t.Fatal("MemStore took the whole-container fallback")
+	}
+	if ri.ChangedBlocks == 0 || ri.ChangedBlocks >= ri.TotalBlocks {
+		t.Fatalf("degenerate delta: %d/%d blocks", ri.ChangedBlocks, ri.TotalBlocks)
+	}
+	afterDelta, err := a.term.Query("nurse", "folder", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if afterDelta.Version != ri.Version || afterDelta.Version != before.Version+1 {
+		t.Fatalf("served version %d after republish to %d (was %d)",
+			afterDelta.Version, ri.Version, before.Version)
+	}
+
+	// World B: full publication of the same tree at the same version.
+	b := newRepublishWorld(t, dsp.NewMemStore(), doc, "folder", rules)
+	if _, err := b.pub.PublishDocument(mutated, docenc.EncodeOptions{
+		DocID: "folder", Key: b.key, BlockPlain: 128, MinSkipBytes: 32, Version: ri.Version,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	afterFull, err := b.term.Query("nurse", "folder", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if afterDelta.XML() != afterFull.XML() {
+		t.Fatal("delta re-publish and full re-publish yield different terminal output")
+	}
+	if afterDelta.XML() == before.XML() {
+		t.Fatal("mutation was invisible to the terminal (vacuous differential)")
+	}
+}
+
+// TestRepublishFallbackStore: a store without the handshake still ends
+// up at the right version via the whole-container fallback.
+func TestRepublishFallbackStore(t *testing.T) {
+	type bare struct{ dsp.Store }
+	inner := dsp.NewMemStore()
+	w := newRepublishWorld(t, bare{inner}, workload.Agenda(workload.AgendaConfig{
+		Seed: 9, Members: 5, EventsPerMember: 3,
+	}), "agenda", "subject m\ndefault +")
+	mutated := mutateTexts(workload.Agenda(workload.AgendaConfig{
+		Seed: 9, Members: 5, EventsPerMember: 3,
+	}), 6)
+	ri, err := w.pub.Republish(mutated, docenc.EncodeOptions{DocID: "agenda", Key: w.key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ri.Fallback {
+		t.Fatal("bare store did not fall back")
+	}
+	res, err := w.term.Query("m", "agenda", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != ri.Version {
+		t.Fatalf("fallback left version %d, want %d", res.Version, ri.Version)
+	}
+}
+
+// TestPublishStreamMatchesBuffered: the io-driven publish produces a
+// stored document indistinguishable (to a terminal) from the buffered
+// one, and negotiates the version on re-publication.
+func TestPublishStreamMatchesBuffered(t *testing.T) {
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 21, Patients: 6, VisitsPerPatient: 2})
+	const rules = "subject doc\ndefault +\n- //ssn"
+
+	buffered := newRepublishWorld(t, dsp.NewMemStore(), doc, "d", rules)
+	want, err := buffered.term.Query("doc", "d", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := dsp.NewMemStore()
+	key := secure.KeyFromSeed("republish:d")
+	pub := &Publisher{Store: store}
+	if _, err := pub.PublishStream(doc, docenc.EncodeOptions{
+		DocID: "d", Key: key, BlockPlain: 128, MinSkipBytes: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rs := workload.MustParseRules(rules)
+	rs.DocID = "d"
+	if err := pub.GrantRules(key, rs); err != nil {
+		t.Fatal(err)
+	}
+	c := card.New(card.Modern)
+	if err := c.PutKey("d", key); err != nil {
+		t.Fatal(err)
+	}
+	term := &Terminal{Store: store, Card: c}
+	if err := term.InstallRules("doc", "d"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := term.Query("doc", "d", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XML() != want.XML() {
+		t.Fatal("streamed publish serves different content than buffered publish")
+	}
+
+	// Re-publication through the stream path auto-bumps the version.
+	if _, err := pub.PublishStream(mutateTexts(doc, 9), docenc.EncodeOptions{
+		DocID: "d", Key: key, BlockPlain: 128, MinSkipBytes: 32,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := term.Query("doc", "d", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != got.Version+1 {
+		t.Fatalf("streamed re-publish served version %d, want %d", res.Version, got.Version+1)
+	}
+}

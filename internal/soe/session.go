@@ -201,7 +201,11 @@ func (s *Session) Feed(blockIdx int, stored []byte) ([]byte, error) {
 	s.card.Meter.BytesToCard += int64(len(stored))
 	s.card.Meter.APDUs += int64(apduCount(len(stored), s.card.Profile.MaxAPDUData))
 
-	plain, err := secure.DecryptBlock(s.key, s.header.DocID, s.header.Version, uint32(blockIdx), stored)
+	// Decrypt under the block's own generation: after a delta re-publish
+	// the untouched blocks keep the ciphertext (and version binding) of
+	// the publication that last wrote them; the MAC'd header vouches for
+	// the generation vector.
+	plain, err := secure.DecryptBlock(s.key, s.header.DocID, s.header.BlockGen(blockIdx), uint32(blockIdx), stored)
 	if err != nil {
 		return nil, s.abort(err)
 	}

@@ -81,8 +81,18 @@ type (
 	// two-stage prefetching pipeline: batched block runs are fetched
 	// speculatively and overlapped with card evaluation.
 	Terminal = proxy.Terminal
-	// Publisher encodes and uploads documents and rule sets.
+	// Publisher encodes and uploads documents and rule sets. Besides
+	// the buffered PublishDocument it offers PublishStream (the
+	// bounded-memory io-driven path) and Republish (block-level delta
+	// re-publication: only changed blocks travel).
 	Publisher = proxy.Publisher
+	// RepublishInfo describes a delta re-publication (changed blocks,
+	// uploaded bytes, negotiated version).
+	RepublishInfo = proxy.RepublishInfo
+	// StoreUpdater is the optional store interface behind delta
+	// re-publish: the atomic begin/put-blocks/commit handshake.
+	// MemStore, Cache, Client and Pool all implement it.
+	StoreUpdater = dsp.DocUpdater
 	// Result is a query outcome with its cost statistics.
 	Result = proxy.Result
 	// Gateway is the card-fleet tier: it serves concurrent pull queries
@@ -214,6 +224,27 @@ func Publish(store Store, doc *Document, docID string, key Key) error {
 	p := &Publisher{Store: store}
 	_, err := p.PublishDocument(doc, EncodeOptions{DocID: docID, Key: key})
 	return err
+}
+
+// PublishStream is Publish over the streaming pipeline: the document is
+// encoded, indexed and encrypted in one bounded-memory pass, and blocks
+// go to the store as they are produced (atomically, via the update
+// handshake when the store supports it). Re-publishing an existing
+// document negotiates the next version automatically.
+func PublishStream(store Store, doc *Document, docID string, key Key) error {
+	p := &Publisher{Store: store}
+	_, err := p.PublishStream(doc, EncodeOptions{DocID: docID, Key: key})
+	return err
+}
+
+// Republish uploads a new version of a published document as a
+// block-level delta: the stored version is read back, authenticated and
+// diffed against the new tree, and only the changed block runs travel to
+// the store — atomically, with the version bumped. The returned info
+// reports how much of the document actually moved.
+func Republish(store Store, doc *Document, docID string, key Key) (*RepublishInfo, error) {
+	p := &Publisher{Store: store}
+	return p.Republish(doc, EncodeOptions{DocID: docID, Key: key})
 }
 
 // Grant seals and uploads a subject's rule set for a document.

@@ -99,6 +99,47 @@ func TestFullCardPath(t *testing.T) {
 	}
 }
 
+// TestRepublishTopLevel exercises the public update path: publish,
+// delta re-publish, and a card query that sees the new version.
+func TestRepublishTopLevel(t *testing.T) {
+	store := NewMemStore()
+	key := KeyFromSeed("sds-republish")
+	v1, err := ParseXML([]byte(`<a><b>the first version body</b><c>constant tail text</c></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := ParseXML([]byte(`<a><b>THE OTHER VERSION BODY</b><c>constant tail text</c></a>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PublishStream(store, v1, "doc", key); err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Republish(store, v2, "doc", key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Version != 1 {
+		t.Fatalf("republished version %d, want 1", ri.Version)
+	}
+	rules, _ := ParseRules("subject u\ndefault +")
+	rules.DocID = "doc"
+	if err := Grant(store, key, rules); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCard(Modern)
+	if err := Provision(store, c, "doc", "u", key); err != nil {
+		t.Fatal(err)
+	}
+	res, err := QueryCard(store, c, "u", "doc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != 1 || !strings.Contains(res.XML(), "THE OTHER VERSION BODY") {
+		t.Fatalf("query did not see the republished version: v%d %q", res.Version, res.XML())
+	}
+}
+
 func TestGrantRequiresDocID(t *testing.T) {
 	rules, _ := ParseRules("subject u\ndefault +")
 	if err := Grant(NewMemStore(), KeyFromSeed("k"), rules); err == nil {
