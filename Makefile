@@ -15,10 +15,10 @@ test:
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
-## bench-smoke: run the network-path experiments end to end (E9 scaled
-## DSP, E10 gateway, E11 delta re-publish) — the write path included
+## bench-smoke: run the system-path experiments end to end (E9 scaled
+## DSP, E10 gateway, E11 delta re-publish, E12 durable WAL store)
 bench-smoke:
-	$(GO) run ./cmd/sdsbench E9 E10 E11
+	$(GO) run ./cmd/sdsbench E9 E10 E11 E12
 
 ## fmt: fail if any file needs gofmt
 fmt:

@@ -261,6 +261,36 @@ func BenchmarkE11DeltaRepublish(b *testing.B) {
 	b.ReportMetric(ratio, "delta-bytes-%")
 }
 
+// BenchmarkE12DurableRepublish measures 1-block delta commits against
+// the WAL-backed durable store and reports the bytes that hit the disk
+// per commit — the write-amplification axis E12 tables in full.
+func BenchmarkE12DurableRepublish(b *testing.B) {
+	dir := b.TempDir()
+	fs, err := NewFileStoreOptions(dir, FileStoreOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	if err := bench.E12Seed(fs); err != nil {
+		b.Fatal(err)
+	}
+	before := fs.Stats()
+	var commits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := bench.E12CommitRound(fs, uint32(2+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		commits += n
+	}
+	b.StopTimer()
+	st := fs.Stats()
+	if commits > 0 {
+		b.ReportMetric(float64(st.AppendedBytes-before.AppendedBytes)/float64(commits), "disk-bytes/commit")
+	}
+}
+
 // BenchmarkE9ConcurrentDSP measures the scaled DSP (sharded store, LRU
 // cache, pipelined server, pooled batched clients) under 4 concurrent
 // clients over loopback TCP and reports aggregate blocks per second.

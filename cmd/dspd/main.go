@@ -4,17 +4,22 @@
 //
 // Usage:
 //
-//	dspd [-addr :7070] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0]
+//	dspd [-addr :7070] [-store DIR] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0]
 //
-// The store is in-memory, sharded by document id, and fronted by an LRU
-// block cache; the server pipelines requests per connection over a
-// bounded worker pool. dspd models the honest-but-curious server of the
-// architecture, whose compromise the client-side access control is
-// designed to survive — scaling it out never weakens the security
-// argument, which is why it is the tier built for fan-out.
+// Without -store the store is in-memory: sharded by document id,
+// fronted by an LRU block cache, gone on exit. With -store DIR it is
+// durable: the same sharded in-memory tier serves reads, but every
+// acknowledged write goes through a WAL in DIR first (group-committed
+// fsyncs, periodic checkpoint + log compaction), so the daemon can be
+// killed -9 at any instant and restart on the last durable state. dspd
+// models the honest-but-curious server of the architecture, whose
+// compromise the client-side access control is designed to survive —
+// scaling it out never weakens the security argument, which is why it
+// is the tier built for fan-out.
 //
-// On SIGINT/SIGTERM the server drains in-flight requests and reports the
-// cache counters before exiting.
+// On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
+// the durable store (making the next start instant), and reports cache
+// and durability counters before exiting.
 package main
 
 import (
@@ -29,13 +34,37 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
+	storeDir := flag.String("store", "", "durable store directory (empty: in-memory only)")
 	shards := flag.Int("shards", dsp.DefaultShards, "store shard count")
 	cacheMB := flag.Int("cache-mb", 64, "LRU block cache budget in MiB (0 disables the cache)")
 	workers := flag.Int("workers", 0, "max concurrently executing requests (0: 4×GOMAXPROCS)")
 	depth := flag.Int("depth", 0, "per-connection pipeline depth (0: default)")
+	ckptMB := flag.Int("checkpoint-mb", 0,
+		"with -store: checkpoint when the WAL passes this size (0: default, -1: never)")
+	noSync := flag.Bool("nosync", false,
+		"with -store: skip fsync (throughput over durability; a crash can lose acknowledged writes)")
 	flag.Parse()
 
-	var store dsp.Store = dsp.NewMemStoreShards(*shards)
+	var store dsp.Store
+	var durable *dsp.FileStore
+	if *storeDir != "" {
+		var err error
+		durable, err = dsp.NewFileStoreOptions(*storeDir, dsp.FileStoreOptions{
+			Shards:          *shards,
+			NoSync:          *noSync,
+			CheckpointBytes: int64(*ckptMB) << 20,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st := durable.Stats(); st.ReplayedRecords > 0 || st.TornTail {
+			log.Printf("dspd: recovered %s: %d log records replayed (%d superseded), torn tail: %v",
+				*storeDir, st.ReplayedRecords, st.SkippedRecords, st.TornTail)
+		}
+		store = durable
+	} else {
+		store = dsp.NewMemStoreShards(*shards)
+	}
 	var cache *dsp.Cache
 	if *cacheMB > 0 {
 		cache = dsp.NewCache(store, int64(*cacheMB)<<20)
@@ -49,8 +78,12 @@ func main() {
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()
-	log.Printf("dspd: serving the untrusted store on %s (%d shards, cache %d MiB)",
-		*addr, *shards, *cacheMB)
+	kind := "in-memory"
+	if durable != nil {
+		kind = "durable (" + *storeDir + ")"
+	}
+	log.Printf("dspd: serving the untrusted %s store on %s (%d shards, cache %d MiB)",
+		kind, *addr, *shards, *cacheMB)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -69,5 +102,18 @@ func main() {
 		st := cache.Stats()
 		log.Printf("dspd: cache %d hits / %d misses (%.1f%% hit rate), %d blocks resident, %d evictions",
 			st.Hits, st.Misses, 100*st.HitRate(), st.Blocks, st.Evictions)
+	}
+	if durable != nil {
+		// Checkpoint so the next start replays nothing; the WAL made
+		// everything durable already, this is a startup-latency favor.
+		if err := durable.Checkpoint(); err != nil {
+			log.Printf("dspd: final checkpoint: %v", err)
+		}
+		if err := durable.Close(); err != nil {
+			log.Printf("dspd: closing store: %v", err)
+		}
+		st := durable.Stats()
+		log.Printf("dspd: wal %d records / %d KiB appended, %d fsync barriers, %d checkpoints",
+			st.Records, st.AppendedBytes>>10, st.Syncs, st.Checkpoints)
 	}
 }

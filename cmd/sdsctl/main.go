@@ -35,7 +35,9 @@ import (
 	"repro/internal/xmlstream"
 )
 
-// statePath is where the in-process store persists between invocations.
+// statePath is the durable store directory (WAL + checkpoint, see
+// dsp.FileStore) consecutive sdsctl invocations compose through:
+// publish, then grant, then query.
 const statePath = "sdsctl.store"
 
 func main() {
@@ -228,13 +230,26 @@ func openStore(addr string, conns int) (dsp.Store, func()) {
 		}
 		return client, func() { _ = client.Close() }
 	}
-	fs, err := newFileStore(statePath)
+	// Earlier sdsctl versions kept the state in a flat file at the
+	// same path; the durable store needs a directory there. Explain
+	// instead of dying on a cryptic mkdir error.
+	if fi, err := os.Stat(statePath); err == nil && !fi.IsDir() {
+		log.Fatalf("%s is a store file from an older sdsctl (single-image format); "+
+			"remove it (and re-publish) to let the durable store use the path as a directory",
+			statePath)
+	}
+	// Single-shot invocations keep the WAL small, so checkpointing on
+	// every exit trades a little write-off for replay-free next starts.
+	fs, err := dsp.NewFileStore(statePath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	return fs, func() {
-		if err := fs.flush(); err != nil {
-			log.Printf("flushing store: %v", err)
+		if err := fs.Checkpoint(); err != nil {
+			log.Printf("checkpointing store: %v", err)
+		}
+		if err := fs.Close(); err != nil {
+			log.Printf("closing store: %v", err)
 		}
 	}
 }

@@ -107,5 +107,6 @@ func All() []Experiment {
 		{"E9", "concurrent DSP throughput", E9ConcurrentDSP},
 		{"E10", "pipelined pull & card-fleet gateway", E10Pipeline},
 		{"E11", "delta re-publish vs full re-publish", E11DeltaRepublish},
+		{"E12", "durable WAL store: throughput, write amplification, recovery", E12DurableStore},
 	}
 }

@@ -317,15 +317,21 @@ func (c *Cache) PutBlocks(token uint64, start int, blocks [][]byte) error {
 // retired by generation exactly as a whole-document re-put would —
 // in-flight fills of the superseded version abort on the bumped
 // generation, so readers never see mixed-version blocks linger.
+//
+// The token→document mapping is deleted only after the backing commit
+// succeeds: a transient failure (a remote store's network blip) whose
+// retry then commits must still find the mapping, or the cache would
+// keep serving the pre-update blocks forever.
 func (c *Cache) CommitUpdate(token uint64) error {
 	up, ok := c.store.(DocUpdater)
 	if !ok {
 		return ErrUpdateUnsupported
 	}
-	docID, _ := c.updDocs.LoadAndDelete(token)
+	docID, _ := c.updDocs.Load(token)
 	if err := up.CommitUpdate(token); err != nil {
 		return err
 	}
+	c.updDocs.Delete(token)
 	if id, ok := docID.(string); ok && id != "" {
 		c.invalidate(id)
 	}

@@ -1,0 +1,88 @@
+package dsp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/docenc"
+	"repro/internal/secure"
+)
+
+// failOnceStore wraps a MemStore and fails the first CommitUpdate with
+// a transient error without applying it — the shape of a network blip
+// between a cache and a remote store, where the caller's retry of the
+// same token can then succeed.
+type failOnceStore struct {
+	*MemStore
+	failed bool
+}
+
+var errTransient = errors.New("transient commit failure")
+
+func (s *failOnceStore) CommitUpdate(token uint64) error {
+	if !s.failed {
+		s.failed = true
+		return errTransient
+	}
+	return s.MemStore.CommitUpdate(token)
+}
+
+// TestCacheCommitRetryInvalidates is the regression test for the
+// commit-ordering bug: the cache used to drop its token→document
+// mapping before the backing commit, so a failed-then-retried commit
+// left the pre-update blocks resident — readers were served stale
+// ciphertext forever. The mapping must outlive failed commits and the
+// invalidation must run on the attempt that succeeds.
+func TestCacheCommitRetryInvalidates(t *testing.T) {
+	const (
+		blockPlain = 32
+		numBlocks  = 4
+	)
+	backing := &failOnceStore{MemStore: NewMemStore()}
+	cache := NewCache(backing, 1<<20)
+
+	makeContainer := func(version uint32) *docenc.Container {
+		h := docenc.Header{DocID: "doc", Version: version, BlockPlain: blockPlain,
+			PayloadLen: blockPlain * numBlocks}
+		c := &docenc.Container{Header: h}
+		for i := 0; i < numBlocks; i++ {
+			c.Blocks = append(c.Blocks, bytes.Repeat([]byte{byte(version)}, blockPlain+secure.MACLen))
+		}
+		return c
+	}
+	if err := cache.PutDocument(makeContainer(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Pull version 1's blocks into the cache.
+	if _, err := cache.ReadBlocks("doc", 0, numBlocks); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := makeContainer(2)
+	token, err := cache.BeginUpdate(c2.Header, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.PutBlocks(token, 0, c2.Blocks); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.CommitUpdate(token); !errors.Is(err, errTransient) {
+		t.Fatalf("first commit = %v, want the injected transient failure", err)
+	}
+	if err := cache.CommitUpdate(token); err != nil {
+		t.Fatalf("retried commit failed: %v", err)
+	}
+
+	// The retry succeeded, so the cache must serve version 2 — with the
+	// old ordering the resident version-1 blocks survived here.
+	blocks, err := cache.ReadBlocks("doc", 0, numBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if b[0] != 2 {
+			t.Fatalf("block %d served from version %d after a committed update to 2", i, b[0])
+		}
+	}
+}

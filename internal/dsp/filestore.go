@@ -1,0 +1,738 @@
+package dsp
+
+// FileStore is the durable DSP tier: a MemStore image kept alive by a
+// write-ahead log. Reads are served from the sharded in-memory store at
+// memory speed; every acknowledged mutation is a WAL record first, so a
+// crash at any instant restarts on exactly the prefix of history that
+// was made durable. The delta handshake logs typed begin/put-blocks/
+// commit records — a delta re-publish appends O(changed bytes), where
+// the previous file store rewrote the whole image per commit.
+//
+// Layout: one directory holding `wal.log` (see wal.go for the frame
+// format) and `checkpoint`, a full store image written by Checkpoint
+// via temp-file + atomic rename. A checkpoint absorbs the log: after
+// the rename the log is truncated and any still-staged updates are
+// re-logged into the fresh log, so recovery cost is bounded by the
+// churn since the last checkpoint, not by store size or lifetime.
+// Crossing Options.CheckpointBytes of log triggers a checkpoint
+// automatically on the mutating call that crossed it.
+//
+// Recovery: load the checkpoint (if any), then replay the log record by
+// record, stopping at — and truncating — a torn tail (kill -9 mid
+// append). A record that no longer applies (a checkpoint superseded it,
+// or its staged update never committed) is skipped, not fatal: the log
+// is a history of operations that once succeeded, and replay converges
+// on the same final state the live store had.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/docenc"
+)
+
+// FileStoreOptions tunes a FileStore.
+type FileStoreOptions struct {
+	// Shards is the in-memory partition count (0 = DefaultShards).
+	Shards int
+	// NoSync skips every fsync. Throughput-measurement and
+	// scratch-store use only: a crash can lose acknowledged writes
+	// (the log stays ordered, so recovery still sees a clean prefix).
+	NoSync bool
+	// CheckpointBytes triggers an automatic checkpoint when the log
+	// grows past it (0 = DefaultCheckpointBytes, < 0 = never — explicit
+	// Checkpoint calls only).
+	CheckpointBytes int64
+}
+
+// DefaultCheckpointBytes bounds the log (and therefore recovery time)
+// when the caller does not choose a budget.
+const DefaultCheckpointBytes = 64 << 20
+
+// FileStoreStats is a point-in-time snapshot of a FileStore's durability
+// counters.
+type FileStoreStats struct {
+	// Records and AppendedBytes count WAL appends since open (frame
+	// overhead included). Syncs counts fsync barriers actually issued —
+	// group commit makes it smaller than the number of durable commits.
+	Records, AppendedBytes, Syncs int64
+	// WALBytes is the current log length; Checkpoints counts
+	// checkpoints taken since open.
+	WALBytes, Checkpoints int64
+	// ReplayedRecords and SkippedRecords describe recovery at open:
+	// applied vs. superseded log records. TornTail reports that the log
+	// ended in a partially written record, which recovery truncated.
+	ReplayedRecords, SkippedRecords int64
+	TornTail                        bool
+}
+
+// FileStore implements Store, BlockRangeReader and DocUpdater on disk.
+type FileStore struct {
+	mem  *MemStore
+	dir  string
+	wal  *walWriter
+	opts FileStoreOptions
+
+	// ckptMu admits one checkpoint at a time; the automatic trigger
+	// TryLocks it so concurrent committers never pile up behind one.
+	ckptMu      sync.Mutex
+	checkpoints atomic.Int64
+
+	// broken latches the first append/checkpoint failure: once the log
+	// can no longer record history, acknowledging further mutations
+	// would promise durability the store cannot deliver. Reads keep
+	// working.
+	broken atomic.Value // error
+
+	replayed, skipped int64
+	tornTail          bool
+}
+
+const (
+	walFileName  = "wal.log"
+	ckptFileName = "checkpoint"
+)
+
+// checkpoint image magic ("SDSC" + format version).
+var ckptMagic = []byte{'S', 'D', 'S', 'C', 1}
+
+// NewFileStore opens (or creates) a durable store in dir with default
+// options.
+func NewFileStore(dir string) (*FileStore, error) {
+	return NewFileStoreOptions(dir, FileStoreOptions{})
+}
+
+// NewFileStoreOptions opens (or creates) a durable store in dir,
+// recovering from the checkpoint and log found there.
+func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) {
+	if opts.Shards == 0 {
+		opts.Shards = DefaultShards
+	}
+	if opts.CheckpointBytes == 0 {
+		opts.CheckpointBytes = DefaultCheckpointBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &FileStore{mem: NewMemStoreShards(opts.Shards), dir: dir, opts: opts}
+
+	if err := s.loadCheckpoint(); err != nil {
+		return nil, err
+	}
+	tokens := make(map[uint64]uint64) // logged token → live token
+	size, torn, err := replayWal(filepath.Join(dir, walFileName), func(body []byte) error {
+		return s.applyRecord(body, tokens)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dsp: recovering %s: %w", dir, err)
+	}
+	// Staged updates with no commit in the log belong to handshakes the
+	// crash killed; their tokens died with the old process, so nobody
+	// can ever commit them. Replay needed them only to serve commits
+	// later in the log — evict the leftovers.
+	for _, token := range tokens {
+		_ = s.mem.AbortUpdate(token)
+	}
+	s.tornTail = torn
+	s.wal, err = openWalWriter(filepath.Join(dir, walFileName), size, opts.NoSync)
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+// Stats snapshots the durability counters.
+func (s *FileStore) Stats() FileStoreStats {
+	return FileStoreStats{
+		Records:         s.wal.records.Load(),
+		AppendedBytes:   s.wal.bytesAppended.Load(),
+		Syncs:           s.wal.syncs.Load(),
+		WALBytes:        s.wal.size(),
+		Checkpoints:     s.checkpoints.Load(),
+		ReplayedRecords: s.replayed,
+		SkippedRecords:  s.skipped,
+		TornTail:        s.tornTail,
+	}
+}
+
+// Close makes the log durable and releases the file. It does not
+// checkpoint: reopening replays the log. Long-lived servers call
+// Checkpoint before Close for an instant next start.
+func (s *FileStore) Close() error {
+	err := s.wal.syncTo(s.wal.size())
+	if cerr := s.wal.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (s *FileStore) fail(err error) error {
+	s.broken.CompareAndSwap(nil, err)
+	return err
+}
+
+func (s *FileStore) failed() error {
+	if err, ok := s.broken.Load().(error); ok {
+		return fmt.Errorf("dsp: durable store is read-only after a log failure: %w", err)
+	}
+	return nil
+}
+
+// logged runs a store mutation and its WAL append as one atomic step
+// under the log mutex, so log order always equals apply order. It
+// returns the durability offset for syncTo (0 when apply failed).
+func (s *FileStore) logged(apply func() error, record func() []byte) (int64, error) {
+	if err := s.failed(); err != nil {
+		return 0, err
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	if err := apply(); err != nil {
+		return 0, err
+	}
+	off, err := s.wal.append(record())
+	if err != nil {
+		return 0, s.fail(err)
+	}
+	return off, nil
+}
+
+// durable waits for offset off to hit the disk, then checks the
+// checkpoint trigger.
+func (s *FileStore) durable(off int64) error {
+	if err := s.wal.syncTo(off); err != nil {
+		return s.fail(err)
+	}
+	s.maybeCheckpoint()
+	return nil
+}
+
+// checkRecordSize rejects a mutation too large for one WAL record
+// before anything is applied: the caller gets a plain validation
+// error, not a store latched read-only over its own input.
+func checkRecordSize(n int) error {
+	if n > maxWalRecord {
+		return fmt.Errorf("dsp: mutation of %d bytes exceeds the %d-byte wal record limit", n, maxWalRecord)
+	}
+	return nil
+}
+
+// PutDocument implements Store: logged, then made durable before it is
+// acknowledged.
+func (s *FileStore) PutDocument(c *docenc.Container) error {
+	if c == nil {
+		return fmt.Errorf("dsp: nil container")
+	}
+	img, err := c.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	body := append([]byte{recPutDocument}, img...)
+	if err := checkRecordSize(len(body)); err != nil {
+		return err
+	}
+	off, err := s.logged(
+		func() error { return s.mem.PutDocument(c) },
+		func() []byte { return body },
+	)
+	if err != nil {
+		return err
+	}
+	return s.durable(off)
+}
+
+// PutRuleSet implements Store (durable before acknowledged).
+func (s *FileStore) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
+	body := []byte{recPutRuleSet}
+	body = appendString(body, docID)
+	body = appendString(body, subject)
+	body = appendUvarint(body, uint64(version))
+	body = appendBytes(body, sealed)
+	if err := checkRecordSize(len(body)); err != nil {
+		return err
+	}
+	off, err := s.logged(
+		func() error { return s.mem.PutRuleSet(docID, subject, version, sealed) },
+		func() []byte { return body },
+	)
+	if err != nil {
+		return err
+	}
+	return s.durable(off)
+}
+
+// Header implements Store from memory.
+func (s *FileStore) Header(docID string) (docenc.Header, error) { return s.mem.Header(docID) }
+
+// ReadBlock implements Store from memory.
+func (s *FileStore) ReadBlock(docID string, idx int) ([]byte, error) {
+	return s.mem.ReadBlock(docID, idx)
+}
+
+// ReadBlocks implements BlockRangeReader from memory.
+func (s *FileStore) ReadBlocks(docID string, start, count int) ([][]byte, error) {
+	return s.mem.ReadBlocks(docID, start, count)
+}
+
+// RuleSet implements Store from memory.
+func (s *FileStore) RuleSet(docID, subject string) ([]byte, error) {
+	return s.mem.RuleSet(docID, subject)
+}
+
+// ListDocuments implements Store from memory.
+func (s *FileStore) ListDocuments() ([]string, error) { return s.mem.ListDocuments() }
+
+// BeginUpdate implements DocUpdater. The begin and its staged blocks
+// are appended without an fsync of their own: they only matter if their
+// commit record follows, and the commit's barrier covers everything
+// before it in the log.
+func (s *FileStore) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
+	hdr, err := h.MarshalBinary()
+	if err != nil {
+		return 0, err
+	}
+	var token uint64
+	_, err = s.logged(
+		func() (err error) { token, err = s.mem.BeginUpdate(h, baseVersion); return err },
+		func() []byte { return beginRecord(token, baseVersion, hdr) },
+	)
+	return token, err
+}
+
+// PutBlocks implements DocUpdater: one appended record per staged run.
+func (s *FileStore) PutBlocks(token uint64, start int, blocks [][]byte) error {
+	body := putBlocksRecord(token, start, blocks)
+	if err := checkRecordSize(len(body)); err != nil {
+		return err
+	}
+	_, err := s.logged(
+		func() error { return s.mem.PutBlocks(token, start, blocks) },
+		func() []byte { return body },
+	)
+	return err
+}
+
+// CommitUpdate implements DocUpdater: the commit record's fsync is the
+// one barrier a whole delta re-publish pays, and concurrent commits
+// share it (group commit).
+func (s *FileStore) CommitUpdate(token uint64) error {
+	off, err := s.logged(
+		func() error { return s.mem.CommitUpdate(token) },
+		func() []byte { return tokenRecord(recCommit, token) },
+	)
+	if err != nil {
+		return err
+	}
+	return s.durable(off)
+}
+
+// AbortUpdate implements DocUpdater. The abort is logged so replay does
+// not resurrect the staged update, but nothing waits on the disk: an
+// abort lost to a crash only leaves a stale staged update, which
+// recovery (and the staging cap) already tolerates.
+func (s *FileStore) AbortUpdate(token uint64) error {
+	_, err := s.logged(
+		func() error { return s.mem.AbortUpdate(token) },
+		func() []byte { return tokenRecord(recAbort, token) },
+	)
+	return err
+}
+
+// record body builders (shared by live appends and checkpoint re-logs).
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+func beginRecord(token uint64, baseVersion uint32, hdr []byte) []byte {
+	body := []byte{recBeginUpdate}
+	body = appendUvarint(body, token)
+	body = appendUvarint(body, uint64(baseVersion))
+	return append(body, hdr...)
+}
+
+func putBlocksRecord(token uint64, start int, blocks [][]byte) []byte {
+	body := []byte{recPutBlocks}
+	body = appendUvarint(body, token)
+	body = appendUvarint(body, uint64(start))
+	body = appendUvarint(body, uint64(len(blocks)))
+	for _, blk := range blocks {
+		body = appendBytes(body, blk)
+	}
+	return body
+}
+
+func tokenRecord(kind byte, token uint64) []byte {
+	return appendUvarint([]byte{kind}, token)
+}
+
+// applyRecord replays one WAL record during recovery. Parse failures of
+// a CRC-clean record mean real corruption and abort the open; apply
+// failures mean the record was superseded (checkpoint overlap, an
+// update that never committed, a duplicate commit) and are skipped.
+func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
+	if len(body) == 0 {
+		return errors.New("empty wal record")
+	}
+	s.replayed++
+	r := &wireReader{data: body, pos: 1}
+	switch body[0] {
+	case recPutDocument:
+		c, err := docenc.UnmarshalContainer(body[1:])
+		if err != nil {
+			return fmt.Errorf("put-document record: %w", err)
+		}
+		// The unmarshal aliases the replay buffer; copy the blocks so a
+		// long log is not pinned in memory by the few containers that
+		// survive it.
+		for i := range c.Blocks {
+			c.Blocks[i] = append([]byte(nil), c.Blocks[i]...)
+		}
+		if err := s.mem.PutDocument(c); err != nil {
+			s.skipped++
+		}
+	case recPutRuleSet:
+		docID := r.string()
+		subject := r.string()
+		version := r.uvarint()
+		sealed := r.bytes()
+		if r.err != nil {
+			return fmt.Errorf("put-ruleset record: %w", r.err)
+		}
+		if err := s.mem.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
+			s.skipped++
+		}
+	case recBeginUpdate:
+		logged := r.uvarint()
+		base := r.uvarint()
+		if r.err != nil {
+			return fmt.Errorf("begin-update record: %w", r.err)
+		}
+		h, _, err := docenc.UnmarshalHeader(r.rest())
+		if err != nil {
+			return fmt.Errorf("begin-update header: %w", err)
+		}
+		token, err := s.mem.BeginUpdate(h, uint32(base))
+		if err != nil {
+			s.skipped++
+			return nil
+		}
+		tokens[logged] = token
+	case recPutBlocks:
+		logged := r.uvarint()
+		start := r.uvarint()
+		count := r.uvarint()
+		if r.err != nil {
+			return fmt.Errorf("put-blocks record: %w", r.err)
+		}
+		blocks := make([][]byte, 0, count)
+		for i := uint64(0); i < count; i++ {
+			b := r.bytes()
+			if r.err != nil {
+				return fmt.Errorf("put-blocks record: %w", r.err)
+			}
+			blocks = append(blocks, append([]byte(nil), b...))
+		}
+		token, ok := tokens[logged]
+		if !ok {
+			s.skipped++ // its begin was superseded
+			return nil
+		}
+		if err := s.mem.PutBlocks(token, int(start), blocks); err != nil {
+			s.skipped++
+		}
+	case recCommit:
+		logged := r.uvarint()
+		if r.err != nil {
+			return fmt.Errorf("commit record: %w", r.err)
+		}
+		token, ok := tokens[logged]
+		if !ok {
+			s.skipped++ // superseded begin, or a duplicate commit
+			return nil
+		}
+		delete(tokens, logged) // commit retires the token either way
+		if err := s.mem.CommitUpdate(token); err != nil {
+			s.skipped++
+		}
+	case recAbort:
+		logged := r.uvarint()
+		if r.err != nil {
+			return fmt.Errorf("abort record: %w", r.err)
+		}
+		token, ok := tokens[logged]
+		if !ok {
+			s.skipped++
+			return nil
+		}
+		delete(tokens, logged)
+		if err := s.mem.AbortUpdate(token); err != nil {
+			s.skipped++
+		}
+	default:
+		return fmt.Errorf("unknown wal record type %d", body[0])
+	}
+	return nil
+}
+
+// maybeCheckpoint checkpoints when the log crossed the budget, unless a
+// checkpoint is already running (the log keeps growing meanwhile and
+// the next durable commit re-triggers).
+func (s *FileStore) maybeCheckpoint() {
+	if s.opts.CheckpointBytes <= 0 || s.wal.size() < s.opts.CheckpointBytes {
+		return
+	}
+	if !s.ckptMu.TryLock() {
+		return
+	}
+	defer s.ckptMu.Unlock()
+	_ = s.checkpointLocked() // a failed checkpoint latches broken below
+}
+
+// Checkpoint writes the full store image (temp file, fsync, atomic
+// rename) and truncates the log it absorbs; still-staged updates are
+// re-logged into the fresh log so an in-flight delta handshake survives
+// the compaction. Mutations block for the duration; reads do not.
+func (s *FileStore) Checkpoint() error {
+	s.ckptMu.Lock()
+	defer s.ckptMu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *FileStore) checkpointLocked() error {
+	if err := s.failed(); err != nil {
+		return err
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+
+	img, err := s.snapshotImage()
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, ckptFileName+".tmp-*")
+	if err != nil {
+		return s.fail(err)
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return s.fail(err)
+	}
+	if _, err := tmp.Write(img); err != nil {
+		return cleanup(err)
+	}
+	// The image must be durable before the rename publishes it, or the
+	// rename could survive a crash that the contents did not.
+	if !s.opts.NoSync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return s.fail(err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, ckptFileName)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return s.fail(err)
+	}
+	syncDir(s.dir)
+
+	// The image now carries everything the log said; empty the log and
+	// re-log in-flight handshakes (their begin/put-blocks records were
+	// just absorbed into nothing — the image has only committed state).
+	if err := s.wal.reset(); err != nil {
+		return s.fail(err)
+	}
+	if err := s.relogStaged(); err != nil {
+		return s.fail(err)
+	}
+	s.checkpoints.Add(1)
+	return nil
+}
+
+// snapshotImage serializes the committed store state. The caller holds
+// the log mutex, so no mutation is in flight; shard read-locks fence
+// the reads.
+func (s *FileStore) snapshotImage() ([]byte, error) {
+	out := append([]byte(nil), ckptMagic...)
+	var imgs [][]byte
+	var ruleRecs []fileRuleRec
+	for i := range s.mem.shards {
+		sh := &s.mem.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.docs {
+			img, err := c.MarshalBinary()
+			if err != nil {
+				sh.mu.RUnlock()
+				return nil, err
+			}
+			imgs = append(imgs, img)
+		}
+		for k, e := range sh.rules {
+			ruleRecs = append(ruleRecs, fileRuleRec{key: k, version: e.version,
+				sealed: append([]byte(nil), e.sealed...)})
+		}
+		sh.mu.RUnlock()
+	}
+	out = appendUvarint(out, uint64(len(imgs)))
+	for _, img := range imgs {
+		out = appendBytes(out, img)
+	}
+	out = appendUvarint(out, uint64(len(ruleRecs)))
+	for _, rr := range ruleRecs {
+		out = appendString(out, rr.key)
+		out = appendUvarint(out, uint64(rr.version))
+		out = appendBytes(out, rr.sealed)
+	}
+	return out, nil
+}
+
+type fileRuleRec struct {
+	key     string // docID + "\x00" + subject, the shard map key
+	version uint32
+	sealed  []byte
+}
+
+// relogStaged writes the begin/put-blocks records of every still-staged
+// update into the (fresh) log under their live tokens. No fsync: like a
+// live begin, they become durable with their commit's barrier.
+func (s *FileStore) relogStaged() error {
+	s.mem.updMu.Lock()
+	tokens := make([]uint64, 0, len(s.mem.updates))
+	for t := range s.mem.updates {
+		tokens = append(tokens, t)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	type stagedCopy struct {
+		token uint64
+		up    *pendingUpdate
+	}
+	staged := make([]stagedCopy, 0, len(tokens))
+	for _, t := range tokens {
+		staged = append(staged, stagedCopy{t, s.mem.updates[t]})
+	}
+	s.mem.updMu.Unlock()
+
+	for _, sc := range staged {
+		hdr, err := sc.up.header.MarshalBinary()
+		if err != nil {
+			return err
+		}
+		if _, err := s.wal.append(beginRecord(sc.token, sc.up.base, hdr)); err != nil {
+			return err
+		}
+		// Coalesce the staged blocks back into contiguous runs, cut at
+		// a byte budget so the re-log never assembles a record larger
+		// than the live path could have appended.
+		idxs := make([]int, 0, len(sc.up.blocks))
+		for i := range sc.up.blocks {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for lo := 0; lo < len(idxs); {
+			hi, runBytes := lo+1, len(sc.up.blocks[idxs[lo]])
+			for hi < len(idxs) && idxs[hi] == idxs[hi-1]+1 && runBytes < maxPutBatchBytes {
+				runBytes += len(sc.up.blocks[idxs[hi]])
+				hi++
+			}
+			run := make([][]byte, 0, hi-lo)
+			for _, i := range idxs[lo:hi] {
+				run = append(run, sc.up.blocks[i])
+			}
+			if _, err := s.wal.append(putBlocksRecord(sc.token, idxs[lo], run)); err != nil {
+				return err
+			}
+			lo = hi
+		}
+	}
+	return nil
+}
+
+// loadCheckpoint reads the checkpoint image (if present) into the
+// in-memory store and sweeps temp files a crashed checkpoint left.
+func (s *FileStore) loadCheckpoint() error {
+	if tmps, err := filepath.Glob(filepath.Join(s.dir, ckptFileName+".tmp-*")); err == nil {
+		for _, t := range tmps {
+			_ = os.Remove(t)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, ckptFileName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != string(ckptMagic) {
+		return fmt.Errorf("dsp: %s/%s: bad checkpoint magic", s.dir, ckptFileName)
+	}
+	r := &wireReader{data: data, pos: len(ckptMagic)}
+	nDocs := r.uvarint()
+	for i := uint64(0); i < nDocs; i++ {
+		img := r.bytes()
+		if r.err != nil {
+			break
+		}
+		c, err := docenc.UnmarshalContainer(img)
+		if err != nil {
+			return fmt.Errorf("dsp: checkpoint document %d: %w", i, err)
+		}
+		if err := s.mem.PutDocument(c); err != nil {
+			return fmt.Errorf("dsp: checkpoint document %d: %w", i, err)
+		}
+	}
+	nRules := r.uvarint()
+	for i := uint64(0); i < nRules; i++ {
+		key := r.string()
+		version := r.uvarint()
+		sealed := r.bytes()
+		if r.err != nil {
+			break
+		}
+		docID, subject, ok := splitRuleKey(key)
+		if !ok {
+			return fmt.Errorf("dsp: checkpoint rule %d: malformed key", i)
+		}
+		if err := s.mem.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
+			return fmt.Errorf("dsp: checkpoint rule %d: %w", i, err)
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("dsp: truncated checkpoint: %w", r.err)
+	}
+	return nil
+}
+
+func splitRuleKey(key string) (docID, subject string, ok bool) {
+	for i := 0; i < len(key); i++ {
+		if key[i] == 0 {
+			return key[:i], key[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// syncDir fsyncs a directory so a just-renamed file survives a crash of
+// the directory entry itself. Best effort: some filesystems refuse
+// directory fsync, and the rename alone is already atomic.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+var (
+	_ Store            = (*FileStore)(nil)
+	_ BlockRangeReader = (*FileStore)(nil)
+	_ DocUpdater       = (*FileStore)(nil)
+)

@@ -318,12 +318,10 @@ func TestRepublishCacheGenerationHammer(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Read first, check stop after: the writer can finish before
+			// a reader is ever scheduled, and the test's final assertion
+			// needs every reader to have exercised at least one lookup.
 			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
 				lo := committed.Load()
 				blocks, err := cache.ReadBlocks("hammer", 0, numBlocks)
 				if err != nil {
@@ -336,6 +334,11 @@ func TestRepublishCacheGenerationHammer(t *testing.T) {
 							i, b[0], lo)
 						return
 					}
+				}
+				select {
+				case <-stop:
+					return
+				default:
 				}
 			}
 		}()

@@ -71,6 +71,15 @@ type (
 	// StorePool is a fixed-size pool of connections to a dspd server;
 	// it implements Store for concurrent fan-out.
 	StorePool = dsp.Pool
+	// FileStore is the durable store: the sharded in-memory tier kept
+	// alive by a write-ahead log with group commit, crash recovery
+	// (torn-tail truncation) and periodic checkpoint + compaction.
+	FileStore = dsp.FileStore
+	// FileStoreOptions tunes a FileStore (shards, fsync policy,
+	// checkpoint budget).
+	FileStoreOptions = dsp.FileStoreOptions
+	// FileStoreStats snapshots a FileStore's durability counters.
+	FileStoreStats = dsp.FileStoreStats
 	// StoreServer serves a Store over TCP with per-connection request
 	// pipelining and a bounded worker pool.
 	StoreServer = dsp.Server
@@ -170,6 +179,16 @@ func KeyFromSeed(seed string) Key { return secure.KeyFromSeed(seed) }
 // NewMemStore returns an in-process untrusted store (sharded for
 // concurrent access).
 func NewMemStore() *dsp.MemStore { return dsp.NewMemStore() }
+
+// NewFileStore opens (or creates) a durable untrusted store in dir: a
+// WAL-backed FileStore that survives crashes and restarts (cmd/dspd
+// serves one with -store).
+func NewFileStore(dir string) (*FileStore, error) { return dsp.NewFileStore(dir) }
+
+// NewFileStoreOptions is NewFileStore with explicit tuning.
+func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) {
+	return dsp.NewFileStoreOptions(dir, opts)
+}
 
 // NewStoreCache fronts a store with an LRU block cache holding at most
 // maxBytes of encrypted blocks (<= 0 selects the default budget).
