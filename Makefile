@@ -16,9 +16,10 @@ bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 ## bench-smoke: run the system-path experiments end to end (E9 scaled
-## DSP, E10 gateway, E11 delta re-publish, E12 durable WAL store)
+## DSP, E10 gateway, E11 delta re-publish, E12 durable WAL store,
+## E13 segmented durable tier)
 bench-smoke:
-	$(GO) run ./cmd/sdsbench E9 E10 E11 E12
+	$(GO) run ./cmd/sdsbench E9 E10 E11 E12 E13
 
 ## fmt: fail if any file needs gofmt
 fmt:

@@ -291,6 +291,35 @@ func BenchmarkE12DurableRepublish(b *testing.B) {
 	}
 }
 
+// BenchmarkE13SegmentedCommits measures 8 concurrent 1-block delta
+// committers against the segmented durable store — writers to different
+// documents append under different per-shard log mutexes, the scaling
+// axis E13 tables in full.
+func BenchmarkE13SegmentedCommits(b *testing.B) {
+	dir := b.TempDir()
+	fs, err := NewFileStoreOptions(dir, FileStoreOptions{NoSync: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fs.Close()
+	if err := bench.E13Seed(fs); err != nil {
+		b.Fatal(err)
+	}
+	var commits int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := bench.E13ConcurrentRound(fs, 8, uint32(2+i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		commits += n
+	}
+	b.StopTimer()
+	if b.Elapsed() > 0 {
+		b.ReportMetric(float64(commits)/b.Elapsed().Seconds(), "commits/s")
+	}
+}
+
 // BenchmarkE9ConcurrentDSP measures the scaled DSP (sharded store, LRU
 // cache, pipelined server, pooled batched clients) under 4 concurrent
 // clients over loopback TCP and reports aggregate blocks per second.

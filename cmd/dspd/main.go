@@ -9,13 +9,16 @@
 // Without -store the store is in-memory: sharded by document id,
 // fronted by an LRU block cache, gone on exit. With -store DIR it is
 // durable: the same sharded in-memory tier serves reads, but every
-// acknowledged write goes through a WAL in DIR first (group-committed
-// fsyncs, periodic checkpoint + log compaction), so the daemon can be
-// killed -9 at any instant and restart on the last durable state. dspd
-// models the honest-but-curious server of the architecture, whose
-// compromise the client-side access control is designed to survive —
-// scaling it out never weakens the security argument, which is why it
-// is the tier built for fan-out.
+// acknowledged write goes through a per-shard WAL segment in DIR first
+// (group-committed fsyncs per segment, background per-shard checkpoint
+// + log compaction), so the daemon can be killed -9 at any instant and
+// restart on the last durable state — segment logs replay in parallel
+// at startup. DIR is flock-protected (two daemons cannot share it) and
+// a PR 4 single-file layout found there is migrated to segments once,
+// automatically. dspd models the honest-but-curious server of the
+// architecture, whose compromise the client-side access control is
+// designed to survive — scaling it out never weakens the security
+// argument, which is why it is the tier built for fan-out.
 //
 // On SIGINT/SIGTERM the server drains in-flight requests, checkpoints
 // the durable store (making the next start instant), and reports cache
@@ -35,14 +38,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
 	storeDir := flag.String("store", "", "durable store directory (empty: in-memory only)")
-	shards := flag.Int("shards", dsp.DefaultShards, "store shard count")
+	shards := flag.Int("shards", dsp.DefaultShards,
+		"store shard count (with -store: fixes the WAL segment count at creation; an existing store keeps its persisted count)")
 	cacheMB := flag.Int("cache-mb", 64, "LRU block cache budget in MiB (0 disables the cache)")
 	workers := flag.Int("workers", 0, "max concurrently executing requests (0: 4×GOMAXPROCS)")
 	depth := flag.Int("depth", 0, "per-connection pipeline depth (0: default)")
 	ckptMB := flag.Int("checkpoint-mb", 0,
-		"with -store: checkpoint when the WAL passes this size (0: default, -1: never)")
+		"with -store: total WAL budget in MiB; a segment crossing its share is checkpointed in the background (0: default, -1: never)")
 	noSync := flag.Bool("nosync", false,
 		"with -store: skip fsync (throughput over durability; a crash can lose acknowledged writes)")
+	recoveryWorkers := flag.Int("recovery-workers", 0,
+		"with -store: parallel segment-recovery workers at startup (0: GOMAXPROCS, 1: sequential)")
 	flag.Parse()
 
 	var store dsp.Store
@@ -50,17 +56,23 @@ func main() {
 	if *storeDir != "" {
 		var err error
 		durable, err = dsp.NewFileStoreOptions(*storeDir, dsp.FileStoreOptions{
-			Shards:          *shards,
-			NoSync:          *noSync,
-			CheckpointBytes: int64(*ckptMB) << 20,
+			Shards:              *shards,
+			NoSync:              *noSync,
+			CheckpointBytes:     int64(*ckptMB) << 20,
+			RecoveryParallelism: *recoveryWorkers,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		if st := durable.Stats(); st.ReplayedRecords > 0 || st.TornTail {
-			log.Printf("dspd: recovered %s: %d log records replayed (%d superseded), torn tail: %v",
-				*storeDir, st.ReplayedRecords, st.SkippedRecords, st.TornTail)
+		st := durable.Stats()
+		log.Printf("dspd: recovered %s in %v: %d segments, %d log records replayed (%d superseded), torn tail: %v",
+			*storeDir, st.RecoveryDuration, st.SegmentCount, st.ReplayedRecords, st.SkippedRecords, st.TornTail)
+		if st.Migrated {
+			log.Printf("dspd: migrated %s from the single-file layout to %d segments", *storeDir, st.SegmentCount)
 		}
+		// An existing store keeps its persisted segment count; echo the
+		// real one, not the flag.
+		*shards = st.SegmentCount
 		store = durable
 	} else {
 		store = dsp.NewMemStoreShards(*shards)
@@ -108,12 +120,15 @@ func main() {
 		// everything durable already, this is a startup-latency favor.
 		if err := durable.Checkpoint(); err != nil {
 			log.Printf("dspd: final checkpoint: %v", err)
+		} else {
+			log.Printf("dspd: final checkpoint of %d segments in %v",
+				durable.Stats().SegmentCount, durable.Stats().LastCheckpointDuration)
 		}
 		if err := durable.Close(); err != nil {
 			log.Printf("dspd: closing store: %v", err)
 		}
 		st := durable.Stats()
-		log.Printf("dspd: wal %d records / %d KiB appended, %d fsync barriers, %d checkpoints",
+		log.Printf("dspd: wal %d records / %d KiB appended, %d fsync barriers, %d segment checkpoints",
 			st.Records, st.AppendedBytes>>10, st.Syncs, st.Checkpoints)
 	}
 }

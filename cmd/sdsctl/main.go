@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -35,9 +36,10 @@ import (
 	"repro/internal/xmlstream"
 )
 
-// statePath is the durable store directory (WAL + checkpoint, see
-// dsp.FileStore) consecutive sdsctl invocations compose through:
-// publish, then grant, then query.
+// statePath is the durable store directory (per-shard WAL segments +
+// checkpoints, see dsp.FileStore) consecutive sdsctl invocations
+// compose through: publish, then grant, then query. A directory in the
+// older single-file layout is migrated to segments on first open.
 const statePath = "sdsctl.store"
 
 func main() {
@@ -241,6 +243,10 @@ func openStore(addr string, conns int) (dsp.Store, func()) {
 	// Single-shot invocations keep the WAL small, so checkpointing on
 	// every exit trades a little write-off for replay-free next starts.
 	fs, err := dsp.NewFileStore(statePath)
+	if errors.Is(err, dsp.ErrStoreLocked) {
+		log.Fatalf("%s is open in another process (a dspd or a concurrent sdsctl); "+
+			"stop it or point this invocation elsewhere: %v", statePath, err)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -108,5 +108,6 @@ func All() []Experiment {
 		{"E10", "pipelined pull & card-fleet gateway", E10Pipeline},
 		{"E11", "delta re-publish vs full re-publish", E11DeltaRepublish},
 		{"E12", "durable WAL store: throughput, write amplification, recovery", E12DurableStore},
+		{"E13", "segmented durable tier: parallel commits, background checkpoints, parallel recovery", E13SegmentedStore},
 	}
 }

@@ -3,6 +3,7 @@ package dsp
 import (
 	"bytes"
 	"encoding/binary"
+	"fmt"
 	"os"
 	"os/exec"
 	"testing"
@@ -14,24 +15,28 @@ import (
 
 // The crash-injection test: a child process (this test binary re-execed
 // against TestFileStoreCrashWriter) opens a FileStore and delta-commits
-// as fast as it can; the parent SIGKILLs it at an arbitrary moment —
-// mid-append, mid-fsync, wherever the scheduler left it — then recovers
-// the directory and checks the store landed on exactly one committed
-// version, end to end, before re-publishing on top of it.
+// to several documents — spread across WAL segments — as fast as it
+// can; the parent SIGKILLs it at an arbitrary moment — mid-append,
+// mid-fsync, wherever the scheduler left it — then recovers the
+// directory (replaying every segment, torn tails and all) and checks
+// each document landed on exactly one committed version, end to end,
+// before re-publishing on top of it.
 
 const (
 	crashEnvDir     = "SDS_CRASH_DIR"
-	crashDoc        = "crash-doc"
+	crashDocs       = 4
 	crashBlockPlain = 2048
 	crashNumBlocks  = 8
 )
+
+func crashDocID(d int) string { return fmt.Sprintf("crash-doc-%d", d) }
 
 // crashContainer builds a synthetic container whose every block starts
 // with its full version (big-endian), so any mix of versions after
 // recovery is detectable — the writer commits thousands of versions per
 // second, far past what one byte could discriminate.
-func crashContainer(version uint32) *docenc.Container {
-	h := docenc.Header{DocID: crashDoc, Version: version, BlockPlain: crashBlockPlain,
+func crashContainer(docID string, version uint32) *docenc.Container {
+	h := docenc.Header{DocID: docID, Version: version, BlockPlain: crashBlockPlain,
 		PayloadLen: crashBlockPlain * crashNumBlocks}
 	c := &docenc.Container{Header: h}
 	for i := 0; i < crashNumBlocks; i++ {
@@ -56,33 +61,38 @@ func TestFileStoreCrashWriter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.PutDocument(crashContainer(1)); err != nil {
-		t.Fatal(err)
+	for d := 0; d < crashDocs; d++ {
+		if err := s.PutDocument(crashContainer(crashDocID(d), 1)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	deadline := time.Now().Add(20 * time.Second) // the parent kills us long before
 	for v := uint32(2); time.Now().Before(deadline); v++ {
-		c := crashContainer(v)
-		token, err := s.BeginUpdate(c.Header, v-1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		// A two-block delta staged as two runs, like a real re-publish.
-		if err := s.PutBlocks(token, 0, c.Blocks[:1]); err != nil {
-			t.Fatal(err)
-		}
-		if err := s.PutBlocks(token, crashNumBlocks-1, c.Blocks[crashNumBlocks-1:]); err != nil {
-			t.Fatal(err)
-		}
-		if err := s.CommitUpdate(token); err != nil {
-			t.Fatal(err)
+		for d := 0; d < crashDocs; d++ {
+			c := crashContainer(crashDocID(d), v)
+			token, err := s.BeginUpdate(c.Header, v-1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A two-block delta staged as two runs, like a real re-publish.
+			if err := s.PutBlocks(token, 0, c.Blocks[:1]); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.PutBlocks(token, crashNumBlocks-1, c.Blocks[crashNumBlocks-1:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.CommitUpdate(token); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 }
 
 // TestFileStoreCrashRecovery kills a committing writer with SIGKILL and
-// proves the acceptance path: recovery replays a clean prefix (torn
-// tail truncated), the store serves one consistent committed version,
-// and a fresh delta re-publish lands on top of it.
+// proves the acceptance path: recovery replays a clean prefix of every
+// segment (torn tails truncated), the store serves one consistent
+// committed version per document, the kernel released the dead
+// process's directory lock, and a fresh delta re-publish lands on top.
 func TestFileStoreCrashRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns a child process")
@@ -100,36 +110,52 @@ func TestFileStoreCrashRecovery(t *testing.T) {
 	}
 	_ = cmd.Wait()
 
+	// The child died holding the directory lock; flock dies with it, so
+	// this open must succeed without ceremony.
 	s, err := NewFileStore(dir)
 	if err != nil {
 		t.Fatalf("recovery failed: %v", err)
 	}
-	h, err := s.Header(crashDoc)
+	doc0 := crashDocID(0)
+	h0, err := s.Header(doc0)
 	if err != nil {
 		t.Fatalf("document lost: %v", err)
 	}
-	if h.Version < 1 {
-		t.Fatalf("recovered version %d", h.Version)
-	}
-	blocks, err := s.ReadBlocks(crashDoc, 0, crashNumBlocks)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// Atomic commits: after recovery the delta'd blocks (0 and last) are
-	// at the header's version, never a mix of versions.
-	for _, i := range []int{0, crashNumBlocks - 1} {
-		if v := blockVersion(blocks[i]); v != h.Version {
-			t.Fatalf("block %d at version %d under header version %d — torn commit applied",
-				i, v, h.Version)
+	for d := 0; d < crashDocs; d++ {
+		docID := crashDocID(d)
+		h, err := s.Header(docID)
+		if err != nil {
+			t.Fatalf("%s lost: %v", docID, err)
+		}
+		if h.Version < 1 {
+			t.Fatalf("%s recovered at version %d", docID, h.Version)
+		}
+		blocks, err := s.ReadBlocks(docID, 0, crashNumBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Atomic commits: after recovery the delta'd blocks (0 and last)
+		// are at the header's version, never a mix of versions.
+		for _, i := range []int{0, crashNumBlocks - 1} {
+			if v := blockVersion(blocks[i]); v != h.Version {
+				t.Fatalf("%s block %d at version %d under header version %d — torn commit applied",
+					docID, i, v, h.Version)
+			}
+		}
+		// The writer bumps all documents in lockstep; recovered versions
+		// may differ by the one round the kill interrupted, never more.
+		if diff := int64(h.Version) - int64(h0.Version); diff < -1 || diff > 1 {
+			t.Fatalf("%s at version %d, %s at %d — segments recovered from different eras",
+				docID, h.Version, doc0, h0.Version)
 		}
 	}
 	st := s.Stats()
-	t.Logf("recovered at version %d: %+v", h.Version, st)
+	t.Logf("recovered %d docs (doc0 at version %d) in %v: %+v", crashDocs, h0.Version, st.RecoveryDuration, st)
 
 	// Republish against the recovered base and bounce the store once
-	// more to prove the post-crash log is appendable and replayable.
-	next := crashContainer(h.Version + 1)
-	token, err := s.BeginUpdate(next.Header, h.Version)
+	// more to prove the post-crash logs are appendable and replayable.
+	next := crashContainer(doc0, h0.Version+1)
+	token, err := s.BeginUpdate(next.Header, h0.Version)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +172,13 @@ func TestFileStoreCrashRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := r.Header(crashDoc)
-	if err != nil || h2.Version != h.Version+1 {
+	h2, err := r.Header(doc0)
+	if err != nil || h2.Version != h0.Version+1 {
 		t.Fatalf("post-crash republish did not survive: %+v, %v", h2, err)
 	}
-	blk, err := r.ReadBlock(crashDoc, 0)
-	if err != nil || blockVersion(blk) != h.Version+1 {
+	blk, err := r.ReadBlock(doc0, 0)
+	if err != nil || blockVersion(blk) != h0.Version+1 {
 		t.Fatalf("post-crash republished block wrong: %v, %v", blk[:4], err)
 	}
+	_ = r.Close()
 }

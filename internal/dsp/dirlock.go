@@ -1,0 +1,60 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ErrStoreLocked reports that a store directory is already open — by
+// another process, or by another FileStore in this one. Two writers on
+// one log would interleave frames and corrupt both histories, so the
+// second open is refused instead.
+var ErrStoreLocked = errors.New("dsp: store directory is locked by another store instance")
+
+// dirLock is an exclusive advisory lock on a store directory, held via
+// flock(2) on a LOCK file inside it (see dirlock_unix.go; platforms
+// without flock get a best-effort stub). The kernel releases the lock
+// when the holding process dies (kill -9 included), so a stale LOCK
+// file left by a crash is reclaimed by simply locking it again — no
+// pid liveness guessing. The file's contents (pid of the holder) are
+// diagnostic only.
+type dirLock struct {
+	f *os.File
+}
+
+// acquireDirLock takes the exclusive lock or fails immediately with
+// ErrStoreLocked (wrapped with the current holder, if it left a pid).
+func acquireDirLock(path string) (*dirLock, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := flockExclusive(f); err != nil {
+		holder := make([]byte, 64)
+		n, _ := f.Read(holder)
+		_ = f.Close()
+		if owner := strings.TrimSpace(string(holder[:n])); owner != "" {
+			return nil, fmt.Errorf("%w: %s (held by %s)", ErrStoreLocked, path, owner)
+		}
+		return nil, fmt.Errorf("%w: %s", ErrStoreLocked, path)
+	}
+	// Lock held: stamp the holder for anyone inspecting a busy or
+	// crashed store. Best effort — the flock is the lock, not the text.
+	_ = f.Truncate(0)
+	_, _ = fmt.Fprintf(f, "pid %d", os.Getpid())
+	return &dirLock{f: f}, nil
+}
+
+// release drops the lock. Closing the file releases the flock; the LOCK
+// file itself stays behind (its stale pid is harmless — the next open
+// re-locks it).
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package dsp
+
+// Non-Unix fallback: no flock(2), so the directory lock degrades to the
+// diagnostic pid stamp alone — double-open protection is advisory only
+// on these platforms. The durable tier targets Unix servers; this stub
+// keeps the package compiling everywhere.
+func flockExclusive(f interface{ Fd() uintptr }) error { return nil }
+
+// dirSyncUnsupported: directory fsync semantics are undefined off Unix;
+// forgive every refusal rather than latch the store broken.
+func dirSyncUnsupported(err error) bool { return true }

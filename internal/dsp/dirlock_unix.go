@@ -1,0 +1,23 @@
+//go:build unix
+
+package dsp
+
+import (
+	"errors"
+	"syscall"
+)
+
+// flockExclusive takes a non-blocking exclusive flock(2) on the open
+// LOCK file. Per-open-file-description semantics make it exclude a
+// second FileStore in the same process as well as other processes, and
+// the kernel releases it when the holder dies.
+func flockExclusive(f interface{ Fd() uintptr }) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// dirSyncUnsupported recognizes the refusals filesystems report for a
+// directory fsync; syncDir treats those as "the platform cannot do
+// better", not as durability failures.
+func dirSyncUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)
+}

@@ -1,0 +1,34 @@
+//go:build unix
+
+package dsp
+
+// The double-open exclusion rides flock(2), which only the Unix build
+// provides (the fallback degrades to a diagnostic stamp).
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestFileStoreLockExcludesSecondOpen: two stores must never share a
+// directory — the second open fails with ErrStoreLocked and the first
+// keeps working; a clean Close releases the lock for the next open.
+func TestFileStoreLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{})
+	if _, err := NewFileStore(dir); !errors.Is(err, ErrStoreLocked) {
+		t.Fatalf("second open: %v, want ErrStoreLocked", err)
+	}
+	// The refused open must not have damaged the holder.
+	if err := s.PutDocument(testContainer(t, "doc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := openFileStore(t, dir, FileStoreOptions{})
+	if _, err := r.Header("doc"); err != nil {
+		t.Fatalf("state lost across lock handover: %v", err)
+	}
+	_ = r.Close()
+}

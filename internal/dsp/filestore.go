@@ -1,105 +1,193 @@
 package dsp
 
-// FileStore is the durable DSP tier: a MemStore image kept alive by a
-// write-ahead log. Reads are served from the sharded in-memory store at
-// memory speed; every acknowledged mutation is a WAL record first, so a
-// crash at any instant restarts on exactly the prefix of history that
-// was made durable. The delta handshake logs typed begin/put-blocks/
-// commit records — a delta re-publish appends O(changed bytes), where
-// the previous file store rewrote the whole image per commit.
+// FileStore is the durable DSP tier: a MemStore image kept alive by
+// write-ahead logging. Reads are served from the sharded in-memory
+// store at memory speed; every acknowledged mutation is a WAL record
+// first, so a crash at any instant restarts on exactly the prefix of
+// history that was made durable. The delta handshake logs typed
+// begin/put-blocks/commit records — a delta re-publish appends
+// O(changed bytes), where the pre-WAL file store rewrote the whole
+// image per commit.
 //
-// Layout: one directory holding `wal.log` (see wal.go for the frame
-// format) and `checkpoint`, a full store image written by Checkpoint
-// via temp-file + atomic rename. A checkpoint absorbs the log: after
-// the rename the log is truncated and any still-staged updates are
-// re-logged into the fresh log, so recovery cost is bounded by the
-// churn since the last checkpoint, not by store size or lifetime.
-// Crossing Options.CheckpointBytes of log triggers a checkpoint
-// automatically on the mutating call that crossed it.
+// Layout: the on-disk store is segmented to match the in-memory shards.
+// A directory holds one `wal-NNN.log` + `checkpoint-NNN` pair per
+// shard, a `store.meta` file pinning the segment count the store was
+// created with, and a `LOCK` file (flock) so two processes can never
+// interleave appends into one log. Every record of a document — its
+// puts, its rule sets, its whole update handshake — lives in the
+// segment its id hashes to, so writers to different documents append
+// under different log mutexes and fsync through different group-commit
+// batchers: the write path scales with segments instead of serializing
+// on one log lock.
 //
-// Recovery: load the checkpoint (if any), then replay the log record by
-// record, stopping at — and truncating — a torn tail (kill -9 mid
-// append). A record that no longer applies (a checkpoint superseded it,
-// or its staged update never committed) is skipped, not fatal: the log
-// is a history of operations that once succeeded, and replay converges
-// on the same final state the live store had.
+// Checkpoints are per-segment and streaming: a segment's image is
+// written document by document through a buffered writer straight to
+// its temp file (never materialized whole in memory), then published by
+// atomic rename, after which that segment's log is truncated and its
+// still-staged updates re-logged. A segment crossing its share of
+// Options.CheckpointBytes is checkpointed by a background goroutine —
+// the writer that tripped the threshold is never charged the
+// compaction, and only writers to the compacting segment wait on it.
+//
+// Recovery is parallel: segment checkpoints load and segment logs
+// replay concurrently across GOMAXPROCS workers (a document's whole
+// history lives in one segment, so segments replay independently).
+// Each segment stops at — and truncates — its own torn tail (kill -9
+// mid append); a record that no longer applies (a checkpoint superseded
+// it, or its staged update never committed) is skipped, not fatal.
+// A directory in the PR 4 single-file layout (`wal.log` + `checkpoint`)
+// is migrated to segments, exactly once, on open.
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/docenc"
 )
 
 // FileStoreOptions tunes a FileStore.
 type FileStoreOptions struct {
-	// Shards is the in-memory partition count (0 = DefaultShards).
+	// Shards is the partition count — in memory and on disk (one WAL
+	// segment + checkpoint per shard). It is fixed when the store is
+	// created and persisted in store.meta; opening an existing store
+	// keeps the count it was created with (0 = DefaultShards).
 	Shards int
 	// NoSync skips every fsync. Throughput-measurement and
 	// scratch-store use only: a crash can lose acknowledged writes
-	// (the log stays ordered, so recovery still sees a clean prefix).
+	// (each log stays ordered, so recovery still sees a clean prefix).
 	NoSync bool
-	// CheckpointBytes triggers an automatic checkpoint when the log
-	// grows past it (0 = DefaultCheckpointBytes, < 0 = never — explicit
-	// Checkpoint calls only).
+	// CheckpointBytes is the total log budget across all segments: a
+	// segment whose log grows past its share (CheckpointBytes/Shards)
+	// is checkpointed in the background (0 = DefaultCheckpointBytes,
+	// < 0 = never — explicit Checkpoint calls only).
 	CheckpointBytes int64
+	// RecoveryParallelism caps the workers that load checkpoints and
+	// replay segment logs at open (0 = GOMAXPROCS, 1 = sequential).
+	RecoveryParallelism int
 }
 
-// DefaultCheckpointBytes bounds the log (and therefore recovery time)
-// when the caller does not choose a budget.
+// DefaultCheckpointBytes bounds the combined log size (and therefore
+// recovery time) when the caller does not choose a budget.
 const DefaultCheckpointBytes = 64 << 20
 
 // FileStoreStats is a point-in-time snapshot of a FileStore's durability
 // counters.
 type FileStoreStats struct {
 	// Records and AppendedBytes count WAL appends since open (frame
-	// overhead included). Syncs counts fsync barriers actually issued —
-	// group commit makes it smaller than the number of durable commits.
+	// overhead included), summed over segments. Syncs counts fsync
+	// barriers actually issued — group commit makes it smaller than the
+	// number of durable commits.
 	Records, AppendedBytes, Syncs int64
-	// WALBytes is the current log length; Checkpoints counts
-	// checkpoints taken since open.
+	// WALBytes is the combined current log length; Checkpoints counts
+	// segment checkpoints taken since open (one Checkpoint() call
+	// checkpoints every segment).
 	WALBytes, Checkpoints int64
 	// ReplayedRecords and SkippedRecords describe recovery at open:
-	// applied vs. superseded log records. TornTail reports that the log
-	// ended in a partially written record, which recovery truncated.
+	// applied vs. superseded log records. TornTail reports that at
+	// least one segment log ended in a partially written record, which
+	// recovery truncated.
 	ReplayedRecords, SkippedRecords int64
 	TornTail                        bool
+	// SegmentCount is the store's on-disk segment count (fixed at
+	// creation, read back from store.meta on reopen).
+	SegmentCount int
+	// RecoveryDuration is the wall time the last open spent loading
+	// checkpoints and replaying logs (migration included).
+	RecoveryDuration time.Duration
+	// LastCheckpointDuration is the wall time of the most recent
+	// checkpoint — one segment for a background trigger, all segments
+	// for an explicit Checkpoint().
+	LastCheckpointDuration time.Duration
+	// Migrated reports that this open converted a PR 4 single-file
+	// layout (wal.log + checkpoint) into segments.
+	Migrated bool
+}
+
+// segment is one on-disk partition: a WAL with its own append mutex and
+// group-commit batcher, plus a checkpoint image, both owned by the
+// in-memory shard of the same index.
+type segment struct {
+	idx int
+	wal *walWriter
+
+	// ckptMu admits one checkpoint of this segment at a time (an
+	// explicit Checkpoint racing the background trigger).
+	ckptMu sync.Mutex
+	// ckptQueued gates one outstanding background request per segment.
+	ckptQueued atomic.Bool
 }
 
 // FileStore implements Store, BlockRangeReader and DocUpdater on disk.
 type FileStore struct {
 	mem  *MemStore
 	dir  string
-	wal  *walWriter
 	opts FileStoreOptions
+	lock *dirLock
+	segs []*segment
 
-	// ckptMu admits one checkpoint at a time; the automatic trigger
-	// TryLocks it so concurrent committers never pile up behind one.
-	ckptMu      sync.Mutex
+	// segBudget is the per-segment auto-checkpoint threshold
+	// (CheckpointBytes split across segments; <= 0 disables).
+	segBudget int64
+
 	checkpoints atomic.Int64
+	lastCkpt    atomic.Int64 // nanoseconds of the most recent checkpoint
 
-	// broken latches the first append/checkpoint failure: once the log
+	// broken latches the first append/checkpoint failure: once a log
 	// can no longer record history, acknowledging further mutations
 	// would promise durability the store cannot deliver. Reads keep
 	// working.
 	broken atomic.Value // error
 
+	recovery          time.Duration
+	migrated          bool
 	replayed, skipped int64
 	tornTail          bool
+
+	// The background checkpointer: durable() enqueues a segment index
+	// when its log crosses segBudget; the worker compacts it off the
+	// request path.
+	ckptCh   chan int
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
+	stopOnce sync.Once
+
+	// testCkptGate, when set, is called by the checkpointer under the
+	// segment's locks — tests use it to freeze a checkpoint mid-flight.
+	// It must be set before the store's first mutation, from the
+	// goroutine that will mutate (the trigger enqueue is the
+	// happens-before edge to the worker).
+	testCkptGate func(seg int)
 }
 
 const (
+	// Legacy (PR 4) single-file layout, migrated on open.
 	walFileName  = "wal.log"
 	ckptFileName = "checkpoint"
+
+	metaFileName = "store.meta"
+	lockFileName = "LOCK"
+	metaHeader   = "sds-segmented-store v1"
 )
 
-// checkpoint image magic ("SDSC" + format version).
+func segWalName(i int) string  { return fmt.Sprintf("wal-%03d.log", i) }
+func segCkptName(i int) string { return fmt.Sprintf("checkpoint-%03d", i) }
+
+func (s *FileStore) segWalPath(i int) string  { return filepath.Join(s.dir, segWalName(i)) }
+func (s *FileStore) segCkptPath(i int) string { return filepath.Join(s.dir, segCkptName(i)) }
+
+// checkpoint image magic ("SDSC" + format version) — unchanged from the
+// single-file layout, each segment image is simply a smaller store.
 var ckptMagic = []byte{'S', 'D', 'S', 'C', 1}
 
 // NewFileStore opens (or creates) a durable store in dir with default
@@ -109,10 +197,15 @@ func NewFileStore(dir string) (*FileStore, error) {
 }
 
 // NewFileStoreOptions opens (or creates) a durable store in dir,
-// recovering from the checkpoint and log found there.
+// recovering from the segment checkpoints and logs found there. A
+// directory already open (this process or another) fails with
+// ErrStoreLocked; a lock left by a dead process is reclaimed.
 func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) {
 	if opts.Shards == 0 {
 		opts.Shards = DefaultShards
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
 	}
 	if opts.CheckpointBytes == 0 {
 		opts.CheckpointBytes = DefaultCheckpointBytes
@@ -120,59 +213,356 @@ func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	s := &FileStore{mem: NewMemStoreShards(opts.Shards), dir: dir, opts: opts}
-
-	if err := s.loadCheckpoint(); err != nil {
+	lock, err := acquireDirLock(filepath.Join(dir, lockFileName))
+	if err != nil {
 		return nil, err
 	}
+	s := &FileStore{dir: dir, opts: opts, lock: lock}
+	start := time.Now()
+	if err := s.openDir(); err != nil {
+		// Release whatever a partial open acquired — the lock and any
+		// segment logs already opened before the failure — so a caller
+		// retrying the open (say, after repairing a corrupt checkpoint)
+		// does not accumulate file descriptors.
+		for _, seg := range s.segs {
+			if seg.wal != nil {
+				_ = seg.wal.close()
+			}
+		}
+		_ = lock.release()
+		return nil, err
+	}
+	s.recovery = time.Since(start)
+	if s.opts.CheckpointBytes > 0 {
+		s.segBudget = s.opts.CheckpointBytes / int64(len(s.segs))
+		if s.segBudget < 1 {
+			s.segBudget = 1
+		}
+	}
+	s.startCheckpointWorker()
+	return s, nil
+}
+
+// openDir decides which layout the directory holds and recovers it. The
+// meta file is authoritative: it is written only after every segment
+// image is durable, so its presence means the segmented layout is
+// complete (any legacy leftovers are sweepings of an interrupted
+// post-migration cleanup).
+func (s *FileStore) openDir() error {
+	// Sweep temp files a crashed checkpoint, migration or meta write
+	// left behind.
+	if tmps, err := filepath.Glob(filepath.Join(s.dir, "*.tmp-*")); err == nil {
+		for _, t := range tmps {
+			_ = os.Remove(t)
+		}
+	}
+	nSeg, err := readSegmentMeta(s.dir)
+	if err != nil {
+		return err
+	}
+	legacyWal := fileExists(filepath.Join(s.dir, walFileName))
+	legacyCkpt := fileExists(filepath.Join(s.dir, ckptFileName))
+	switch {
+	case nSeg > 0:
+		s.mem = NewMemStoreShards(nSeg)
+		s.makeSegments(nSeg)
+		if legacyWal || legacyCkpt {
+			_ = os.Remove(filepath.Join(s.dir, walFileName))
+			_ = os.Remove(filepath.Join(s.dir, ckptFileName))
+		}
+		return s.recoverSegments()
+	case legacyWal || legacyCkpt:
+		s.mem = NewMemStoreShards(s.opts.Shards)
+		s.makeSegments(s.opts.Shards)
+		return s.migrateLegacy()
+	default:
+		s.mem = NewMemStoreShards(s.opts.Shards)
+		s.makeSegments(s.opts.Shards)
+		if err := writeSegmentMeta(s.dir, len(s.segs), s.opts.NoSync); err != nil {
+			return err
+		}
+		for _, seg := range s.segs {
+			w, err := openWalWriter(s.segWalPath(seg.idx), 0, s.opts.NoSync)
+			if err != nil {
+				return err
+			}
+			seg.wal = w
+		}
+		return nil
+	}
+}
+
+func (s *FileStore) makeSegments(n int) {
+	s.segs = make([]*segment, n)
+	for i := range s.segs {
+		s.segs[i] = &segment{idx: i}
+	}
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// readSegmentMeta returns the persisted segment count, or 0 when the
+// directory has no meta file (fresh store or legacy layout).
+func readSegmentMeta(dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(string(data))
+	if len(fields) != 4 || fields[0]+" "+fields[1] != metaHeader || fields[2] != "segments" {
+		return 0, fmt.Errorf("dsp: %s/%s: malformed store meta", dir, metaFileName)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("dsp: %s/%s: bad segment count %q", dir, metaFileName, fields[3])
+	}
+	return n, nil
+}
+
+// writeSegmentMeta persists the segment count via temp file + atomic
+// rename, then fsyncs the directory: once the meta is durable the
+// segmented layout is the store.
+func writeSegmentMeta(dir string, n int, noSync bool) error {
+	tmp, err := os.CreateTemp(dir, metaFileName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := fmt.Fprintf(tmp, "%s\nsegments %d\n", metaHeader, n); err != nil {
+		return cleanup(err)
+	}
+	if !noSync {
+		if err := tmp.Sync(); err != nil {
+			return cleanup(err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, metaFileName)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if noSync {
+		return nil
+	}
+	return syncDir(dir)
+}
+
+// segRecovery accumulates one segment's replay outcome (workers write
+// their own struct; the opener aggregates after the join).
+type segRecovery struct {
+	replayed, skipped int64
+	torn              bool
+}
+
+// recoverSegments loads every segment's checkpoint and replays its log,
+// fanned out over RecoveryParallelism workers. Segments are independent
+// by construction — a document's whole history (including its update
+// handshakes) lives in the segment its id hashes to — so the only
+// shared state is the MemStore, whose shard locks and update mutex
+// fence the concurrent applies.
+func (s *FileStore) recoverSegments() error {
+	workers := s.opts.RecoveryParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(s.segs) {
+		workers = len(s.segs)
+	}
+	// Capacity eviction is order-sensitive; parallel replay must not
+	// reproduce it (see MemStore.noEvict). Set before the workers start,
+	// cleared after they join.
+	s.mem.noEvict = true
+	defer func() { s.mem.noEvict = false }()
+
+	recs := make([]segRecovery, len(s.segs))
+	errs := make([]error, len(s.segs))
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				errs[i] = s.recoverSegment(i, &recs[i])
+			}
+		}()
+	}
+	for i := range s.segs {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("dsp: recovering %s segment %d: %w", s.dir, i, err)
+		}
+	}
+	for _, rec := range recs {
+		s.replayed += rec.replayed
+		s.skipped += rec.skipped
+		s.tornTail = s.tornTail || rec.torn
+	}
+	return nil
+}
+
+// recoverSegment restores one segment: checkpoint image, then log
+// replay, then eviction of staged updates whose commit never made the
+// log (their tokens died with the old process — nobody can ever commit
+// them; replay needed them only to serve commits later in the log).
+func (s *FileStore) recoverSegment(i int, rec *segRecovery) error {
+	if err := s.loadCheckpointFile(s.segCkptPath(i)); err != nil {
+		return err
+	}
 	tokens := make(map[uint64]uint64) // logged token → live token
-	size, torn, err := replayWal(filepath.Join(dir, walFileName), func(body []byte) error {
-		return s.applyRecord(body, tokens)
+	size, torn, err := replayWal(s.segWalPath(i), func(body []byte) error {
+		return s.applyRecord(body, tokens, rec)
 	})
 	if err != nil {
-		return nil, fmt.Errorf("dsp: recovering %s: %w", dir, err)
+		return err
 	}
-	// Staged updates with no commit in the log belong to handshakes the
-	// crash killed; their tokens died with the old process, so nobody
-	// can ever commit them. Replay needed them only to serve commits
-	// later in the log — evict the leftovers.
 	for _, token := range tokens {
 		_ = s.mem.AbortUpdate(token)
 	}
-	s.tornTail = torn
-	s.wal, err = openWalWriter(filepath.Join(dir, walFileName), size, opts.NoSync)
+	rec.torn = torn
+	w, err := openWalWriter(s.segWalPath(i), size, s.opts.NoSync)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return s, nil
+	s.segs[i].wal = w
+	return nil
+}
+
+// migrateLegacy converts a PR 4 single-file store (wal.log +
+// checkpoint) into the segmented layout: recover it the old way, write
+// every segment image, publish the meta file, retire the legacy pair.
+// Ordered so that a crash at any point leaves either a complete legacy
+// store (meta absent — migration simply reruns) or a complete segmented
+// store (meta present — stray legacy files are swept on the next open).
+func (s *FileStore) migrateLegacy() error {
+	// Leftover segment files from an interrupted earlier migration
+	// (possibly with a different shard count) are garbage — the legacy
+	// pair is still the store of record.
+	for _, pat := range []string{"wal-*.log", "checkpoint-*"} {
+		if stale, err := filepath.Glob(filepath.Join(s.dir, pat)); err == nil {
+			for _, f := range stale {
+				_ = os.Remove(f)
+			}
+		}
+	}
+	if err := s.loadCheckpointFile(filepath.Join(s.dir, ckptFileName)); err != nil {
+		return err
+	}
+	var rec segRecovery
+	tokens := make(map[uint64]uint64)
+	_, torn, err := replayWal(filepath.Join(s.dir, walFileName), func(body []byte) error {
+		return s.applyRecord(body, tokens, &rec)
+	})
+	if err != nil {
+		return fmt.Errorf("dsp: migrating %s: %w", s.dir, err)
+	}
+	for _, token := range tokens {
+		_ = s.mem.AbortUpdate(token)
+	}
+	s.replayed, s.skipped, s.tornTail = rec.replayed, rec.skipped, torn
+
+	// The migration is fsynced even under NoSync: it is about to unlink
+	// the legacy store of record, and NoSync's contract is "a crash may
+	// lose acknowledged writes", not "a crash may lose the whole store
+	// that sync mode already made durable".
+	for _, seg := range s.segs {
+		if err := s.writeSegmentImageSync(seg.idx, true); err != nil {
+			return fmt.Errorf("dsp: migrating %s: %w", s.dir, err)
+		}
+	}
+	if err := writeSegmentMeta(s.dir, len(s.segs), false); err != nil {
+		return err
+	}
+	for _, name := range []string{walFileName, ckptFileName} {
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	for _, seg := range s.segs {
+		w, err := openWalWriter(s.segWalPath(seg.idx), 0, s.opts.NoSync)
+		if err != nil {
+			return err
+		}
+		seg.wal = w
+	}
+	s.migrated = true
+	return nil
 }
 
 // Dir returns the store's directory.
 func (s *FileStore) Dir() string { return s.dir }
 
-// Stats snapshots the durability counters.
-func (s *FileStore) Stats() FileStoreStats {
-	return FileStoreStats{
-		Records:         s.wal.records.Load(),
-		AppendedBytes:   s.wal.bytesAppended.Load(),
-		Syncs:           s.wal.syncs.Load(),
-		WALBytes:        s.wal.size(),
-		Checkpoints:     s.checkpoints.Load(),
-		ReplayedRecords: s.replayed,
-		SkippedRecords:  s.skipped,
-		TornTail:        s.tornTail,
-	}
+// seg routes a document to its segment — the same hash, modulus and
+// index as the MemStore shard, so segment i's log describes exactly
+// shard i's contents.
+func (s *FileStore) seg(docID string) *segment {
+	return s.segs[shardHash(docID, 0)%uint32(len(s.segs))]
 }
 
-// Close makes the log durable and releases the file. It does not
-// checkpoint: reopening replays the log. Long-lived servers call
+// Stats snapshots the durability counters (summed over segments).
+func (s *FileStore) Stats() FileStoreStats {
+	st := FileStoreStats{
+		Checkpoints:            s.checkpoints.Load(),
+		ReplayedRecords:        s.replayed,
+		SkippedRecords:         s.skipped,
+		TornTail:               s.tornTail,
+		SegmentCount:           len(s.segs),
+		RecoveryDuration:       s.recovery,
+		LastCheckpointDuration: time.Duration(s.lastCkpt.Load()),
+		Migrated:               s.migrated,
+	}
+	for _, seg := range s.segs {
+		st.Records += seg.wal.records.Load()
+		st.AppendedBytes += seg.wal.bytesAppended.Load()
+		st.Syncs += seg.wal.syncs.Load()
+		st.WALBytes += seg.wal.size()
+	}
+	return st
+}
+
+// Close stops the background checkpointer, makes every segment log
+// durable and releases the files and the directory lock. It does not
+// checkpoint: reopening replays the logs. Long-lived servers call
 // Checkpoint before Close for an instant next start.
 func (s *FileStore) Close() error {
-	err := s.wal.syncTo(s.wal.size())
-	if cerr := s.wal.close(); err == nil {
-		err = cerr
+	s.stopCheckpointWorker()
+	var first error
+	for _, seg := range s.segs {
+		if seg.wal == nil {
+			continue
+		}
+		if err := seg.wal.syncTo(seg.wal.size()); err != nil && first == nil {
+			first = err
+		}
+		if err := seg.wal.close(); err != nil && first == nil {
+			first = err
+		}
 	}
-	return err
+	if err := s.lock.release(); err != nil && first == nil {
+		first = err
+	}
+	return first
 }
 
 func (s *FileStore) fail(err error) error {
@@ -188,31 +578,33 @@ func (s *FileStore) failed() error {
 }
 
 // logged runs a store mutation and its WAL append as one atomic step
-// under the log mutex, so log order always equals apply order. It
-// returns the durability offset for syncTo (0 when apply failed).
-func (s *FileStore) logged(apply func() error, record func() []byte) (int64, error) {
+// under the document's segment log mutex, so log order always equals
+// apply order for that document (writers to other segments proceed in
+// parallel). It returns the durability offset for syncTo (0 when apply
+// failed).
+func (s *FileStore) logged(seg *segment, apply func() error, record func() []byte) (int64, error) {
 	if err := s.failed(); err != nil {
 		return 0, err
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
+	seg.wal.mu.Lock()
+	defer seg.wal.mu.Unlock()
 	if err := apply(); err != nil {
 		return 0, err
 	}
-	off, err := s.wal.append(record())
+	off, err := seg.wal.append(record())
 	if err != nil {
 		return 0, s.fail(err)
 	}
 	return off, nil
 }
 
-// durable waits for offset off to hit the disk, then checks the
-// checkpoint trigger.
-func (s *FileStore) durable(off int64) error {
-	if err := s.wal.syncTo(off); err != nil {
+// durable waits for offset off of the segment's log to hit the disk,
+// then checks the segment's checkpoint trigger.
+func (s *FileStore) durable(seg *segment, off int64) error {
+	if err := seg.wal.syncTo(off); err != nil {
 		return s.fail(err)
 	}
-	s.maybeCheckpoint()
+	s.scheduleCheckpoint(seg)
 	return nil
 }
 
@@ -240,17 +632,19 @@ func (s *FileStore) PutDocument(c *docenc.Container) error {
 	if err := checkRecordSize(len(body)); err != nil {
 		return err
 	}
-	off, err := s.logged(
+	seg := s.seg(c.Header.DocID)
+	off, err := s.logged(seg,
 		func() error { return s.mem.PutDocument(c) },
 		func() []byte { return body },
 	)
 	if err != nil {
 		return err
 	}
-	return s.durable(off)
+	return s.durable(seg, off)
 }
 
-// PutRuleSet implements Store (durable before acknowledged).
+// PutRuleSet implements Store (durable before acknowledged). Rule sets
+// live in their document's segment, like their shard in memory.
 func (s *FileStore) PutRuleSet(docID, subject string, version uint32, sealed []byte) error {
 	body := []byte{recPutRuleSet}
 	body = appendString(body, docID)
@@ -260,14 +654,15 @@ func (s *FileStore) PutRuleSet(docID, subject string, version uint32, sealed []b
 	if err := checkRecordSize(len(body)); err != nil {
 		return err
 	}
-	off, err := s.logged(
+	seg := s.seg(docID)
+	off, err := s.logged(seg,
 		func() error { return s.mem.PutRuleSet(docID, subject, version, sealed) },
 		func() []byte { return body },
 	)
 	if err != nil {
 		return err
 	}
-	return s.durable(off)
+	return s.durable(seg, off)
 }
 
 // Header implements Store from memory.
@@ -294,18 +689,30 @@ func (s *FileStore) ListDocuments() ([]string, error) { return s.mem.ListDocumen
 // BeginUpdate implements DocUpdater. The begin and its staged blocks
 // are appended without an fsync of their own: they only matter if their
 // commit record follows, and the commit's barrier covers everything
-// before it in the log.
+// before it in the segment's log.
 func (s *FileStore) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, error) {
 	hdr, err := h.MarshalBinary()
 	if err != nil {
 		return 0, err
 	}
 	var token uint64
-	_, err = s.logged(
+	_, err = s.logged(s.seg(h.DocID),
 		func() (err error) { token, err = s.mem.BeginUpdate(h, baseVersion); return err },
 		func() []byte { return beginRecord(token, baseVersion, hdr) },
 	)
 	return token, err
+}
+
+// updateSeg routes an opaque update token to the segment of the
+// document it stages — every record of a handshake must land in one
+// log. An unknown token (already committed, aborted or evicted) is
+// reported with the MemStore's wording so callers see one error shape.
+func (s *FileStore) updateSeg(token uint64) (*segment, error) {
+	docID, ok := s.mem.updateDocID(token)
+	if !ok {
+		return nil, fmt.Errorf("dsp: unknown update token %d", token)
+	}
+	return s.seg(docID), nil
 }
 
 // PutBlocks implements DocUpdater: one appended record per staged run.
@@ -314,7 +721,11 @@ func (s *FileStore) PutBlocks(token uint64, start int, blocks [][]byte) error {
 	if err := checkRecordSize(len(body)); err != nil {
 		return err
 	}
-	_, err := s.logged(
+	seg, err := s.updateSeg(token)
+	if err != nil {
+		return err
+	}
+	_, err = s.logged(seg,
 		func() error { return s.mem.PutBlocks(token, start, blocks) },
 		func() []byte { return body },
 	)
@@ -322,17 +733,21 @@ func (s *FileStore) PutBlocks(token uint64, start int, blocks [][]byte) error {
 }
 
 // CommitUpdate implements DocUpdater: the commit record's fsync is the
-// one barrier a whole delta re-publish pays, and concurrent commits
-// share it (group commit).
+// one barrier a whole delta re-publish pays, and concurrent commits to
+// the same segment share it (group commit).
 func (s *FileStore) CommitUpdate(token uint64) error {
-	off, err := s.logged(
+	seg, err := s.updateSeg(token)
+	if err != nil {
+		return err
+	}
+	off, err := s.logged(seg,
 		func() error { return s.mem.CommitUpdate(token) },
 		func() []byte { return tokenRecord(recCommit, token) },
 	)
 	if err != nil {
 		return err
 	}
-	return s.durable(off)
+	return s.durable(seg, off)
 }
 
 // AbortUpdate implements DocUpdater. The abort is logged so replay does
@@ -340,7 +755,11 @@ func (s *FileStore) CommitUpdate(token uint64) error {
 // abort lost to a crash only leaves a stale staged update, which
 // recovery (and the staging cap) already tolerates.
 func (s *FileStore) AbortUpdate(token uint64) error {
-	_, err := s.logged(
+	seg, err := s.updateSeg(token)
+	if err != nil {
+		return err
+	}
+	_, err = s.logged(seg,
 		func() error { return s.mem.AbortUpdate(token) },
 		func() []byte { return tokenRecord(recAbort, token) },
 	)
@@ -377,11 +796,11 @@ func tokenRecord(kind byte, token uint64) []byte {
 // a CRC-clean record mean real corruption and abort the open; apply
 // failures mean the record was superseded (checkpoint overlap, an
 // update that never committed, a duplicate commit) and are skipped.
-func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
+func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64, rec *segRecovery) error {
 	if len(body) == 0 {
 		return errors.New("empty wal record")
 	}
-	s.replayed++
+	rec.replayed++
 	r := &wireReader{data: body, pos: 1}
 	switch body[0] {
 	case recPutDocument:
@@ -396,7 +815,7 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 			c.Blocks[i] = append([]byte(nil), c.Blocks[i]...)
 		}
 		if err := s.mem.PutDocument(c); err != nil {
-			s.skipped++
+			rec.skipped++
 		}
 	case recPutRuleSet:
 		docID := r.string()
@@ -407,7 +826,7 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 			return fmt.Errorf("put-ruleset record: %w", r.err)
 		}
 		if err := s.mem.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
-			s.skipped++
+			rec.skipped++
 		}
 	case recBeginUpdate:
 		logged := r.uvarint()
@@ -421,7 +840,7 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 		}
 		token, err := s.mem.BeginUpdate(h, uint32(base))
 		if err != nil {
-			s.skipped++
+			rec.skipped++
 			return nil
 		}
 		tokens[logged] = token
@@ -442,11 +861,11 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 		}
 		token, ok := tokens[logged]
 		if !ok {
-			s.skipped++ // its begin was superseded
+			rec.skipped++ // its begin was superseded
 			return nil
 		}
 		if err := s.mem.PutBlocks(token, int(start), blocks); err != nil {
-			s.skipped++
+			rec.skipped++
 		}
 	case recCommit:
 		logged := r.uvarint()
@@ -455,12 +874,12 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 		}
 		token, ok := tokens[logged]
 		if !ok {
-			s.skipped++ // superseded begin, or a duplicate commit
+			rec.skipped++ // superseded begin, or a duplicate commit
 			return nil
 		}
 		delete(tokens, logged) // commit retires the token either way
 		if err := s.mem.CommitUpdate(token); err != nil {
-			s.skipped++
+			rec.skipped++
 		}
 	case recAbort:
 		logged := r.uvarint()
@@ -469,12 +888,12 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 		}
 		token, ok := tokens[logged]
 		if !ok {
-			s.skipped++
+			rec.skipped++
 			return nil
 		}
 		delete(tokens, logged)
 		if err := s.mem.AbortUpdate(token); err != nil {
-			s.skipped++
+			rec.skipped++
 		}
 	default:
 		return fmt.Errorf("unknown wal record type %d", body[0])
@@ -482,134 +901,255 @@ func (s *FileStore) applyRecord(body []byte, tokens map[uint64]uint64) error {
 	return nil
 }
 
-// maybeCheckpoint checkpoints when the log crossed the budget, unless a
-// checkpoint is already running (the log keeps growing meanwhile and
-// the next durable commit re-triggers).
-func (s *FileStore) maybeCheckpoint() {
-	if s.opts.CheckpointBytes <= 0 || s.wal.size() < s.opts.CheckpointBytes {
-		return
-	}
-	if !s.ckptMu.TryLock() {
-		return
-	}
-	defer s.ckptMu.Unlock()
-	_ = s.checkpointLocked() // a failed checkpoint latches broken below
+// startCheckpointWorker launches the background compactor that serves
+// scheduleCheckpoint requests — checkpoints run here, never on the
+// writer that tripped a threshold.
+func (s *FileStore) startCheckpointWorker() {
+	s.ckptCh = make(chan int, len(s.segs))
+	s.ckptStop = make(chan struct{})
+	s.ckptWG.Add(1)
+	go func() {
+		defer s.ckptWG.Done()
+		for {
+			select {
+			case <-s.ckptStop:
+				return
+			case idx := <-s.ckptCh:
+				seg := s.segs[idx]
+				_ = s.checkpointSegment(seg) // a failure latches broken inside
+				seg.ckptQueued.Store(false)
+			}
+		}
+	}()
 }
 
-// Checkpoint writes the full store image (temp file, fsync, atomic
-// rename) and truncates the log it absorbs; still-staged updates are
-// re-logged into the fresh log so an in-flight delta handshake survives
-// the compaction. Mutations block for the duration; reads do not.
+func (s *FileStore) stopCheckpointWorker() {
+	s.stopOnce.Do(func() {
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			s.ckptWG.Wait()
+		}
+	})
+}
+
+// scheduleCheckpoint enqueues a segment for background compaction when
+// its log crossed the per-segment budget. One request per segment is
+// outstanding at a time; if the log keeps growing during the
+// checkpoint, the next durable commit re-triggers.
+func (s *FileStore) scheduleCheckpoint(seg *segment) {
+	if s.segBudget <= 0 || seg.wal.size() < s.segBudget {
+		return
+	}
+	if !seg.ckptQueued.CompareAndSwap(false, true) {
+		return
+	}
+	select {
+	case s.ckptCh <- seg.idx:
+	default:
+		// Unreachable while the channel holds one slot per segment, but
+		// never block a committer on the compactor.
+		seg.ckptQueued.Store(false)
+	}
+}
+
+// Checkpoint compacts every segment: each image is streamed to disk
+// (temp file, fsync, atomic rename) and the log it absorbs truncated;
+// still-staged updates are re-logged so an in-flight delta handshake
+// survives. Segments checkpoint in parallel and independently — writers
+// to a segment wait only while their segment compacts.
 func (s *FileStore) Checkpoint() error {
-	s.ckptMu.Lock()
-	defer s.ckptMu.Unlock()
-	return s.checkpointLocked()
+	start := time.Now()
+	errs := make([]error, len(s.segs))
+	var wg sync.WaitGroup
+	for i, seg := range s.segs {
+		wg.Add(1)
+		go func(i int, seg *segment) {
+			defer wg.Done()
+			errs[i] = s.checkpointSegment(seg)
+		}(i, seg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	s.lastCkpt.Store(int64(time.Since(start)))
+	return nil
 }
 
-func (s *FileStore) checkpointLocked() error {
+// checkpointSegment compacts one segment: stream its shard's image,
+// publish it, truncate its log, re-log its staged updates. Only writers
+// to this segment block for the duration; reads and the other segments
+// never notice.
+func (s *FileStore) checkpointSegment(seg *segment) error {
+	seg.ckptMu.Lock()
+	defer seg.ckptMu.Unlock()
 	if err := s.failed(); err != nil {
 		return err
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
+	seg.wal.mu.Lock()
+	defer seg.wal.mu.Unlock()
+	if s.testCkptGate != nil {
+		s.testCkptGate(seg.idx)
+	}
+	// An empty log means the published image already equals the shard
+	// state (any staged update would have left a re-logged begin
+	// behind): rewriting the image would only burn fsyncs. This is what
+	// keeps an explicit all-segment Checkpoint — every sdsctl exit,
+	// every dspd shutdown — proportional to churn, not to shard count.
+	if seg.wal.appended == 0 {
+		return nil
+	}
+	start := time.Now()
 
-	img, err := s.snapshotImage()
+	if err := s.writeSegmentImage(seg.idx); err != nil {
+		return s.fail(err)
+	}
+	// The image now carries everything this segment's log said; empty
+	// the log and re-log the segment's in-flight handshakes (their
+	// begin/put-blocks records were just absorbed into nothing — the
+	// image has only committed state).
+	if err := seg.wal.reset(); err != nil {
+		return s.fail(err)
+	}
+	if err := s.relogStaged(seg); err != nil {
+		return s.fail(err)
+	}
+	s.checkpoints.Add(1)
+	s.lastCkpt.Store(int64(time.Since(start)))
+	return nil
+}
+
+// writeSegmentImage streams shard idx's committed state into
+// checkpoint-NNN via a buffered writer and temp-file + atomic rename —
+// one document at a time, never the whole image in memory. The caller
+// holds the segment's log mutex, so no mutation of this shard is in
+// flight; the shard read-lock fences the map walk.
+func (s *FileStore) writeSegmentImage(idx int) error {
+	return s.writeSegmentImageSync(idx, !s.opts.NoSync)
+}
+
+// writeSegmentImageSync is writeSegmentImage with the fsync decision
+// explicit — migration forces sync even for NoSync stores.
+func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
+	tmp, err := os.CreateTemp(s.dir, segCkptName(idx)+".tmp-*")
 	if err != nil {
 		return err
-	}
-	tmp, err := os.CreateTemp(s.dir, ckptFileName+".tmp-*")
-	if err != nil {
-		return s.fail(err)
 	}
 	cleanup := func(err error) error {
 		_ = tmp.Close()
 		_ = os.Remove(tmp.Name())
-		return s.fail(err)
+		return err
 	}
-	if _, err := tmp.Write(img); err != nil {
+	bw := bufio.NewWriterSize(tmp, 256<<10)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	sh := &s.mem.shards[idx]
+	sh.mu.RLock()
+	err = func() error {
+		if _, err := bw.Write(ckptMagic); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(len(sh.docs))); err != nil {
+			return err
+		}
+		for _, c := range sh.docs {
+			// The image layout of one document equals its
+			// Container.MarshalBinary (header bytes, then raw blocks),
+			// but streamed block by block.
+			hdr, err := c.Header.MarshalBinary()
+			if err != nil {
+				return err
+			}
+			total := len(hdr)
+			for _, b := range c.Blocks {
+				total += len(b)
+			}
+			if err := writeUvarint(uint64(total)); err != nil {
+				return err
+			}
+			if _, err := bw.Write(hdr); err != nil {
+				return err
+			}
+			for _, b := range c.Blocks {
+				if _, err := bw.Write(b); err != nil {
+					return err
+				}
+			}
+		}
+		if err := writeUvarint(uint64(len(sh.rules))); err != nil {
+			return err
+		}
+		for k, e := range sh.rules {
+			if err := writeUvarint(uint64(len(k))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(k); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(e.version)); err != nil {
+				return err
+			}
+			if err := writeUvarint(uint64(len(e.sealed))); err != nil {
+				return err
+			}
+			if _, err := bw.Write(e.sealed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}()
+	sh.mu.RUnlock()
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := bw.Flush(); err != nil {
 		return cleanup(err)
 	}
 	// The image must be durable before the rename publishes it, or the
 	// rename could survive a crash that the contents did not.
-	if !s.opts.NoSync {
+	if sync {
 		if err := tmp.Sync(); err != nil {
 			return cleanup(err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
 		_ = os.Remove(tmp.Name())
-		return s.fail(err)
+		return err
 	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, ckptFileName)); err != nil {
+	if err := os.Rename(tmp.Name(), s.segCkptPath(idx)); err != nil {
 		_ = os.Remove(tmp.Name())
-		return s.fail(err)
+		return err
 	}
-	syncDir(s.dir)
-
-	// The image now carries everything the log said; empty the log and
-	// re-log in-flight handshakes (their begin/put-blocks records were
-	// just absorbed into nothing — the image has only committed state).
-	if err := s.wal.reset(); err != nil {
-		return s.fail(err)
+	// The directory entry must survive too: a failed directory fsync
+	// after the rename is a durability failure like any other, not a
+	// shrug (filesystems that cannot fsync directories report ENOTSUP,
+	// which syncDir forgives).
+	if sync {
+		if err := syncDir(s.dir); err != nil {
+			return err
+		}
 	}
-	if err := s.relogStaged(); err != nil {
-		return s.fail(err)
-	}
-	s.checkpoints.Add(1)
 	return nil
 }
 
-// snapshotImage serializes the committed store state. The caller holds
-// the log mutex, so no mutation is in flight; shard read-locks fence
-// the reads.
-func (s *FileStore) snapshotImage() ([]byte, error) {
-	out := append([]byte(nil), ckptMagic...)
-	var imgs [][]byte
-	var ruleRecs []fileRuleRec
-	for i := range s.mem.shards {
-		sh := &s.mem.shards[i]
-		sh.mu.RLock()
-		for _, c := range sh.docs {
-			img, err := c.MarshalBinary()
-			if err != nil {
-				sh.mu.RUnlock()
-				return nil, err
-			}
-			imgs = append(imgs, img)
-		}
-		for k, e := range sh.rules {
-			ruleRecs = append(ruleRecs, fileRuleRec{key: k, version: e.version,
-				sealed: append([]byte(nil), e.sealed...)})
-		}
-		sh.mu.RUnlock()
-	}
-	out = appendUvarint(out, uint64(len(imgs)))
-	for _, img := range imgs {
-		out = appendBytes(out, img)
-	}
-	out = appendUvarint(out, uint64(len(ruleRecs)))
-	for _, rr := range ruleRecs {
-		out = appendString(out, rr.key)
-		out = appendUvarint(out, uint64(rr.version))
-		out = appendBytes(out, rr.sealed)
-	}
-	return out, nil
-}
-
-type fileRuleRec struct {
-	key     string // docID + "\x00" + subject, the shard map key
-	version uint32
-	sealed  []byte
-}
-
-// relogStaged writes the begin/put-blocks records of every still-staged
-// update into the (fresh) log under their live tokens. No fsync: like a
-// live begin, they become durable with their commit's barrier.
-func (s *FileStore) relogStaged() error {
+// relogStaged writes the begin/put-blocks records of this segment's
+// still-staged updates into its (fresh) log under their live tokens.
+// No fsync: like a live begin, they become durable with their commit's
+// barrier.
+func (s *FileStore) relogStaged(seg *segment) error {
 	s.mem.updMu.Lock()
 	tokens := make([]uint64, 0, len(s.mem.updates))
-	for t := range s.mem.updates {
-		tokens = append(tokens, t)
+	for t, up := range s.mem.updates {
+		if s.seg(up.header.DocID) == seg {
+			tokens = append(tokens, t)
+		}
 	}
 	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
 	type stagedCopy struct {
@@ -627,7 +1167,7 @@ func (s *FileStore) relogStaged() error {
 		if err != nil {
 			return err
 		}
-		if _, err := s.wal.append(beginRecord(sc.token, sc.up.base, hdr)); err != nil {
+		if _, err := seg.wal.append(beginRecord(sc.token, sc.up.base, hdr)); err != nil {
 			return err
 		}
 		// Coalesce the staged blocks back into contiguous runs, cut at
@@ -648,7 +1188,7 @@ func (s *FileStore) relogStaged() error {
 			for _, i := range idxs[lo:hi] {
 				run = append(run, sc.up.blocks[i])
 			}
-			if _, err := s.wal.append(putBlocksRecord(sc.token, idxs[lo], run)); err != nil {
+			if _, err := seg.wal.append(putBlocksRecord(sc.token, idxs[lo], run)); err != nil {
 				return err
 			}
 			lo = hi
@@ -657,15 +1197,11 @@ func (s *FileStore) relogStaged() error {
 	return nil
 }
 
-// loadCheckpoint reads the checkpoint image (if present) into the
-// in-memory store and sweeps temp files a crashed checkpoint left.
-func (s *FileStore) loadCheckpoint() error {
-	if tmps, err := filepath.Glob(filepath.Join(s.dir, ckptFileName+".tmp-*")); err == nil {
-		for _, t := range tmps {
-			_ = os.Remove(t)
-		}
-	}
-	data, err := os.ReadFile(filepath.Join(s.dir, ckptFileName))
+// loadCheckpointFile reads one checkpoint image (if present) into the
+// in-memory store. Used per segment during recovery and once for the
+// legacy file during migration — the format is the same.
+func (s *FileStore) loadCheckpointFile(path string) error {
+	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
 		return nil
 	}
@@ -673,7 +1209,7 @@ func (s *FileStore) loadCheckpoint() error {
 		return err
 	}
 	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != string(ckptMagic) {
-		return fmt.Errorf("dsp: %s/%s: bad checkpoint magic", s.dir, ckptFileName)
+		return fmt.Errorf("dsp: %s: bad checkpoint magic", path)
 	}
 	r := &wireReader{data: data, pos: len(ckptMagic)}
 	nDocs := r.uvarint()
@@ -707,7 +1243,7 @@ func (s *FileStore) loadCheckpoint() error {
 		}
 	}
 	if r.err != nil {
-		return fmt.Errorf("dsp: truncated checkpoint: %w", r.err)
+		return fmt.Errorf("dsp: truncated checkpoint %s: %w", path, r.err)
 	}
 	return nil
 }
@@ -722,13 +1258,23 @@ func splitRuleKey(key string) (docID, subject string, ok bool) {
 }
 
 // syncDir fsyncs a directory so a just-renamed file survives a crash of
-// the directory entry itself. Best effort: some filesystems refuse
-// directory fsync, and the rename alone is already atomic.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+// the directory entry itself. Filesystems that cannot fsync a directory
+// (EINVAL/ENOTSUP) are forgiven — the rename alone is already atomic —
+// but a real failure is returned for the caller to latch.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		if dirSyncUnsupported(serr) {
+			return nil
+		}
+		return serr
+	}
+	return cerr
 }
 
 var (

@@ -100,6 +100,16 @@ type MemStore struct {
 	updMu   sync.Mutex
 	updSeq  uint64
 	updates map[uint64]*pendingUpdate
+
+	// noEvict suspends the staged-update capacity eviction. Recovery
+	// sets it while replaying segment logs in parallel: live eviction
+	// order is a property of the interleaved history, which per-segment
+	// replay does not reproduce — evicting during replay could kill a
+	// begin whose commit (which succeeded live) is still ahead in its
+	// log. Replay memory is bounded by the logs themselves, which
+	// recovery already holds. Written only while no replay goroutine is
+	// running (hand-off via goroutine start/join).
+	noEvict bool
 }
 
 type memShard struct {

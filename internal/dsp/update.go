@@ -79,7 +79,7 @@ func (s *MemStore) BeginUpdate(h docenc.Header, baseVersion uint32) (uint64, err
 	// server restart. The evicted update's owner, if it is somehow still
 	// alive, sees "unknown token" at its next op and restarts — the same
 	// optimistic-retry outcome as a version conflict.
-	for len(s.updates) >= maxPendingUpdates {
+	for !s.noEvict && len(s.updates) >= maxPendingUpdates {
 		oldest := uint64(0)
 		for t := range s.updates {
 			if oldest == 0 || t < oldest {
@@ -162,6 +162,20 @@ func (s *MemStore) CommitUpdate(token uint64) error {
 	}
 	sh.docs[up.header.DocID] = &docenc.Container{Header: up.header, Blocks: blocks}
 	return nil
+}
+
+// updateDocID returns the document a staged update targets. Persistence
+// layers use it to route an opaque token (commit, abort, put-blocks) to
+// the document's log segment without keeping a shadow token map of
+// their own.
+func (s *MemStore) updateDocID(token uint64) (string, bool) {
+	s.updMu.Lock()
+	defer s.updMu.Unlock()
+	up, ok := s.updates[token]
+	if !ok {
+		return "", false
+	}
+	return up.header.DocID, true
 }
 
 // AbortUpdate implements DocUpdater.

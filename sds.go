@@ -72,13 +72,18 @@ type (
 	// it implements Store for concurrent fan-out.
 	StorePool = dsp.Pool
 	// FileStore is the durable store: the sharded in-memory tier kept
-	// alive by a write-ahead log with group commit, crash recovery
-	// (torn-tail truncation) and periodic checkpoint + compaction.
+	// alive by per-shard WAL segments (one append mutex and group-commit
+	// batcher per shard), with crash recovery (parallel segment replay,
+	// torn-tail truncation), background streaming per-shard checkpoints,
+	// a directory lock against double-open, and automatic migration of
+	// the older single-file layout.
 	FileStore = dsp.FileStore
-	// FileStoreOptions tunes a FileStore (shards, fsync policy,
-	// checkpoint budget).
+	// FileStoreOptions tunes a FileStore (shard/segment count, fsync
+	// policy, checkpoint budget, recovery parallelism).
 	FileStoreOptions = dsp.FileStoreOptions
-	// FileStoreStats snapshots a FileStore's durability counters.
+	// FileStoreStats snapshots a FileStore's durability counters,
+	// including SegmentCount, RecoveryDuration, LastCheckpointDuration
+	// and whether the open migrated a legacy single-file layout.
 	FileStoreStats = dsp.FileStoreStats
 	// StoreServer serves a Store over TCP with per-connection request
 	// pipelining and a bounded worker pool.
@@ -119,6 +124,10 @@ type (
 	// SessionOptions tunes a card session (ablation switches).
 	SessionOptions = soe.Options
 )
+
+// ErrStoreLocked reports that a durable store directory is already open
+// by another FileStore (this process or another); see NewFileStore.
+var ErrStoreLocked = dsp.ErrStoreLocked
 
 // Card hardware profiles.
 var (
@@ -181,8 +190,9 @@ func KeyFromSeed(seed string) Key { return secure.KeyFromSeed(seed) }
 func NewMemStore() *dsp.MemStore { return dsp.NewMemStore() }
 
 // NewFileStore opens (or creates) a durable untrusted store in dir: a
-// WAL-backed FileStore that survives crashes and restarts (cmd/dspd
-// serves one with -store).
+// segmented WAL-backed FileStore that survives crashes and restarts
+// (cmd/dspd serves one with -store). A directory already open fails
+// with ErrStoreLocked; a lock left by a dead process is reclaimed.
 func NewFileStore(dir string) (*FileStore, error) { return dsp.NewFileStore(dir) }
 
 // NewFileStoreOptions is NewFileStore with explicit tuning.
