@@ -1,7 +1,15 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test bench bench-smoke fmt vet staticcheck ci
+# Newest checked-in perf baseline (BENCH_<pr>.json, version-sorted) —
+# what bench-compare gates against. See docs/BENCHMARKS.md.
+BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
+# CI runners differ wildly from the machines baselines are recorded on,
+# so the compare threshold is generous: only a gated metric that gets
+# >50% worse fails the build.
+BENCH_THRESHOLD ?= 0.5
+
+.PHONY: build test bench bench-smoke bench-json bench-compare fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -20,6 +28,21 @@ bench:
 ## E13 segmented durable tier)
 bench-smoke:
 	$(GO) run ./cmd/sdsbench E9 E10 E11 E12 E13
+
+## bench-json: run E9-E13 and write the machine-readable result file
+## (bench-run.json, the sds-bench-result/v1 schema of docs/BENCHMARKS.md)
+bench-json:
+	$(GO) run ./cmd/sdsbench -json bench-run.json -label local E9 E10 E11 E12 E13
+
+## bench-compare: run E9-E13 and diff the result against the newest
+## checked-in BENCH_*.json; fails on a gated-metric regression beyond
+## BENCH_THRESHOLD
+bench-compare: bench-json
+	@if [ -z "$(BENCH_BASELINE)" ]; then \
+		echo "no BENCH_*.json baseline checked in; skipping compare"; \
+	else \
+		$(GO) run ./cmd/sdsbench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) bench-run.json; \
+	fi
 
 ## fmt: fail if any file needs gofmt
 fmt:
@@ -41,4 +64,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test bench bench-smoke
+ci: fmt vet staticcheck build test bench bench-compare

@@ -231,7 +231,7 @@ func BenchmarkE10PipelinedGateway(b *testing.B) {
 	var qps float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		qps, _, err = rig.Hammer(g, subjects, 2)
+		qps, _, _, err = rig.Hammer(g, subjects, 2)
 		if err != nil {
 			b.Fatal(err)
 		}

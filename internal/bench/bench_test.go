@@ -99,12 +99,19 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite is slow")
 	}
+	tracked := map[string]bool{"E9": true, "E10": true, "E11": true, "E12": true, "E13": true}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tables := e.Run()
+			rec := NewRecorder()
+			tables := e.Run(rec)
 			if len(tables) == 0 {
 				t.Fatal("no tables")
+			}
+			// The perf-trajectory experiments must feed the result file;
+			// an empty metric set would silently hollow out BENCH_*.json.
+			if tracked[e.ID] && len(rec.Metrics()) == 0 {
+				t.Errorf("%s recorded no metrics", e.ID)
 			}
 			for _, tab := range tables {
 				if len(tab.Rows) == 0 {

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -108,13 +109,15 @@ func (r *E10Rig) Gateway(conns, prefetch int) (*fleet.Gateway, *dsp.Pool, error)
 
 // Hammer runs `subjects` concurrent tenants, each issuing `passes` full
 // pull queries through the gateway, and returns aggregate queries per
-// second plus the total speculative waste.
-func (r *E10Rig) Hammer(g *fleet.Gateway, subjects, passes int) (qps float64, wasted int64, err error) {
+// second, the total speculative waste, and every query's wall-clock
+// latency (unsorted) for percentile reporting.
+func (r *E10Rig) Hammer(g *fleet.Gateway, subjects, passes int) (qps float64, wasted int64, lats []time.Duration, err error) {
 	var (
 		wg     sync.WaitGroup
 		mu     sync.Mutex
 		firstE error
 	)
+	lats = make([]time.Duration, subjects*passes)
 	start := time.Now()
 	for i := 0; i < subjects; i++ {
 		wg.Add(1)
@@ -122,6 +125,7 @@ func (r *E10Rig) Hammer(g *fleet.Gateway, subjects, passes int) (qps float64, wa
 			defer wg.Done()
 			subject := e10Subjects[i%len(e10Subjects)].name
 			for p := 0; p < passes; p++ {
+				qStart := time.Now()
 				if _, err := g.Query(subject, e10Doc, ""); err != nil {
 					mu.Lock()
 					if firstE == nil {
@@ -130,23 +134,27 @@ func (r *E10Rig) Hammer(g *fleet.Gateway, subjects, passes int) (qps float64, wa
 					mu.Unlock()
 					return
 				}
+				lats[i*passes+p] = time.Since(qStart)
 			}
 		}(i)
 	}
 	wg.Wait()
 	if firstE != nil {
-		return 0, 0, firstE
+		return 0, 0, nil, firstE
 	}
 	elapsed := time.Since(start).Seconds()
 	for _, st := range g.Stats() {
 		wasted += st.BlocksWasted
 	}
-	return float64(subjects*passes) / elapsed, wasted, nil
+	return float64(subjects*passes) / elapsed, wasted, lats, nil
 }
 
 // E10Pipeline compares the serial terminal against the prefetching
-// pipeline, alone and at gateway fan-out, over loopback TCP.
-func E10Pipeline() []*Table {
+// pipeline, alone and at gateway fan-out, over loopback TCP. Recorded
+// metrics: queries/s and p50/p99 query latency (informational — wall
+// clock), pipelined-vs-serial speedup (gated ratio), and speculative
+// waste in blocks (gated — deterministic for the seeded workload).
+func E10Pipeline(rec *Recorder) []*Table {
 	const passes = 6
 	rig, err := NewE10Rig()
 	if err != nil {
@@ -170,7 +178,7 @@ func E10Pipeline() []*Table {
 		if err != nil {
 			panic(err)
 		}
-		qps, _, err := rig.Hammer(g, 1, passes)
+		qps, _, _, err := rig.Hammer(g, 1, passes)
 		if err != nil {
 			panic(err)
 		}
@@ -179,6 +187,8 @@ func E10Pipeline() []*Table {
 		if k > 0 {
 			label = fmt.Sprintf("prefetch=%d", k)
 		}
+		rec.Record(fmt.Sprintf("qps_%s", label), "q/s", qps)
+		rec.RecordLower(fmt.Sprintf("fetched_%s", label), "blocks", float64(st.BlocksFetched))
 		t1.AddRow(label, fmt.Sprintf("%.1f", qps),
 			fmt.Sprintf("%d", st.BlocksFetched), fmt.Sprintf("%d", st.BlocksWasted))
 		g.Close()
@@ -201,7 +211,7 @@ func E10Pipeline() []*Table {
 		if err != nil {
 			panic(err)
 		}
-		serialQPS, _, err := rig.Hammer(gs, subjects, passes)
+		serialQPS, _, _, err := rig.Hammer(gs, subjects, passes)
 		if err != nil {
 			panic(err)
 		}
@@ -212,12 +222,22 @@ func E10Pipeline() []*Table {
 		if err != nil {
 			panic(err)
 		}
-		pipedQPS, wasted, err := rig.Hammer(gp, subjects, passes)
+		pipedQPS, wasted, lats, err := rig.Hammer(gp, subjects, passes)
 		if err != nil {
 			panic(err)
 		}
 		gp.Close()
 		poolP.Close()
+
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		rec.Record(fmt.Sprintf("serial_qps_subjects%d", subjects), "q/s", serialQPS)
+		rec.Record(fmt.Sprintf("pipelined_qps_subjects%d", subjects), "q/s", pipedQPS)
+		rec.Record(fmt.Sprintf("pipelined_p50_subjects%d", subjects), "ms",
+			float64(pctile(lats, 50))/float64(time.Millisecond))
+		rec.Record(fmt.Sprintf("pipelined_p99_subjects%d", subjects), "ms",
+			float64(pctile(lats, 99))/float64(time.Millisecond))
+		rec.RecordHigher(fmt.Sprintf("speedup_subjects%d", subjects), "x", pipedQPS/serialQPS)
+		rec.RecordLower(fmt.Sprintf("wasted_subjects%d", subjects), "blocks", float64(wasted))
 
 		t2.AddRow(
 			fmt.Sprintf("%d", subjects),

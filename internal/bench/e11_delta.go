@@ -145,8 +145,11 @@ func E11DeltaRepublishRun(base, mutated *xmlstream.Node) (bytes int64, wall time
 }
 
 // E11DeltaRepublish compares full vs delta re-publication at 1%, 10%
-// and 50% value churn over loopback TCP.
-func E11DeltaRepublish() []*Table {
+// and 50% value churn over loopback TCP. Recorded metrics: absolute
+// bytes-on-wire for both paths and the delta/full ratio (all gated —
+// the workload is seeded, so wire bytes are deterministic); wall times
+// are informational.
+func E11DeltaRepublish(rec *Recorder) []*Table {
 	base := E11BaseDocument()
 	t := &Table{
 		ID:    "E11",
@@ -170,6 +173,14 @@ func E11DeltaRepublish() []*Table {
 		if err != nil {
 			panic(err)
 		}
+		rec.RecordLower(fmt.Sprintf("full_bytes_churn%d", churn), "B", float64(fullBytes))
+		rec.RecordLower(fmt.Sprintf("delta_bytes_churn%d", churn), "B", float64(deltaBytes))
+		rec.RecordLower(fmt.Sprintf("delta_full_ratio_churn%d", churn), "ratio",
+			float64(deltaBytes)/float64(fullBytes))
+		rec.Record(fmt.Sprintf("full_ms_churn%d", churn), "ms",
+			float64(fullWall)/float64(time.Millisecond))
+		rec.Record(fmt.Sprintf("delta_ms_churn%d", churn), "ms",
+			float64(deltaWall)/float64(time.Millisecond))
 		t.AddRow(
 			fmt.Sprintf("%d%%", churn),
 			fmt.Sprintf("%d/%d", ri.ChangedBlocks, ri.TotalBlocks),

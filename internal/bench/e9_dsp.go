@@ -171,8 +171,11 @@ func (r *DSPRig) Hammer(clients, passes int, batched bool) (float64, error) {
 }
 
 // E9ConcurrentDSP compares aggregate block throughput of the two DSP
-// configurations as the number of concurrent clients grows.
-func E9ConcurrentDSP() []*Table {
+// configurations as the number of concurrent clients grows. Recorded
+// metrics: absolute blk/s and the core-count-dependent speedup
+// (informational), the cache hit rate (gated — deterministic for the
+// seeded workload).
+func E9ConcurrentDSP(rec *Recorder) []*Table {
 	const (
 		nDocs  = 4
 		passes = 25
@@ -212,6 +215,14 @@ func E9ConcurrentDSP() []*Table {
 		st := scaled.Cache.Stats()
 		hits := float64(st.Hits - before.Hits)
 		lookups := hits + float64(st.Misses-before.Misses)
+		rec.Record(fmt.Sprintf("serial_clients%d", clients), "blk/s", baseRate)
+		rec.Record(fmt.Sprintf("scaled_clients%d", clients), "blk/s", scaledRate)
+		// The speedup needs real cores, so it is informational: a 2-core
+		// CI runner must not fail against a 16-core baseline.
+		rec.Record(fmt.Sprintf("speedup_clients%d", clients), "x", scaledRate/baseRate)
+		if lookups > 0 {
+			rec.RecordHigher(fmt.Sprintf("cache_hit_clients%d", clients), "ratio", hits/lookups)
+		}
 		t.AddRow(
 			fmt.Sprintf("%d", clients),
 			fmt.Sprintf("%.0f", baseRate),

@@ -1,0 +1,320 @@
+package bench
+
+// Machine-readable benchmark results — the contract every perf PR
+// reports against. A run of cmd/sdsbench serializes one Result per
+// invocation (committed as BENCH_<pr>.json at each PR), and Compare
+// diffs two of them, gating CI on regressions.
+//
+// The contract distinguishes two metric classes by the Better field:
+//
+//   - Gated metrics ("higher"/"lower") are machine-stable: deterministic
+//     byte counts from seeded workloads, ratios of two quantities
+//     measured on the same machine in the same run (speedups, hit
+//     rates, amplification factors). These are comparable across hosts
+//     and are what -compare enforces.
+//   - Informational metrics ("") are absolute wall-clock numbers —
+//     meaningful within one run, not across machines. Compare reports
+//     them but never fails on them.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// ResultSchema identifies the serialized format.
+const ResultSchema = "sds-bench-result/v1"
+
+// Metric is one measured value.
+type Metric struct {
+	Name  string  `json:"name"`
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Better declares the improvement direction: "higher", "lower", or
+	// empty for informational metrics that comparisons never gate on.
+	Better string `json:"better,omitempty"`
+}
+
+// ExperimentResult is one experiment's slice of a run.
+type ExperimentResult struct {
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	WallMS  float64  `json:"wall_ms"`
+	Failed  bool     `json:"failed,omitempty"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Env captures where a run happened — enough to judge whether two
+// result files are comparable at all.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Result is one sdsbench run.
+type Result struct {
+	Schema      string             `json:"schema"`
+	Label       string             `json:"label,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
+	Env         Env                `json:"env"`
+	Experiments []ExperimentResult `json:"experiments"`
+}
+
+// NewResult starts a Result stamped with the current environment.
+func NewResult(label, commit string) *Result {
+	return &Result{
+		Schema:    ResultSchema,
+		Label:     label,
+		CreatedAt: time.Now().UTC().Truncate(time.Second),
+		Env: Env{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+			Commit:     commit,
+		},
+	}
+}
+
+// EncodeResult writes r as indented JSON (stable field order, trailing
+// newline — a BENCH_*.json diff should be readable in review).
+func EncodeResult(w io.Writer, r *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeResult reads one result file, rejecting unknown schemas.
+func DecodeResult(rd io.Reader) (*Result, error) {
+	var r Result
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: decoding result: %w", err)
+	}
+	if r.Schema != ResultSchema {
+		return nil, fmt.Errorf("bench: unknown result schema %q (want %q)", r.Schema, ResultSchema)
+	}
+	return &r, nil
+}
+
+// Recorder collects one experiment's metrics while its runner executes.
+// A nil Recorder discards everything, so runners record unconditionally
+// and the table-only callers (tests, benchmarks) pass nil.
+type Recorder struct {
+	metrics []Metric
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+func (r *Recorder) add(name, unit string, value float64, better string) {
+	if r == nil {
+		return
+	}
+	r.metrics = append(r.metrics, Metric{Name: name, Unit: unit, Value: value, Better: better})
+}
+
+// Record adds an informational metric (never gated by Compare).
+func (r *Recorder) Record(name, unit string, value float64) {
+	r.add(name, unit, value, "")
+}
+
+// RecordHigher adds a gated metric where larger is better.
+func (r *Recorder) RecordHigher(name, unit string, value float64) {
+	r.add(name, unit, value, "higher")
+}
+
+// RecordLower adds a gated metric where smaller is better.
+func (r *Recorder) RecordLower(name, unit string, value float64) {
+	r.add(name, unit, value, "lower")
+}
+
+// Metrics returns what was recorded, in recording order.
+func (r *Recorder) Metrics() []Metric {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// Compare verdicts.
+const (
+	VerdictImproved  = "improved"
+	VerdictOK        = "ok"
+	VerdictRegressed = "regressed"
+	VerdictNew       = "new"
+	VerdictMissing   = "missing"
+	VerdictInfo      = "info"
+)
+
+// CompareRow is one metric's old-vs-new outcome. Delta is the relative
+// change in the metric's improvement direction: positive is better,
+// negative is worse (NaN when undefined).
+type CompareRow struct {
+	Experiment string
+	Metric     string
+	Unit       string
+	Old, New   float64
+	Delta      float64
+	Verdict    string
+}
+
+// CompareReport is the full diff of two result files.
+type CompareReport struct {
+	Threshold float64 // relative regression tolerance, e.g. 0.25
+	OldLabel  string
+	NewLabel  string
+	Rows      []CompareRow
+}
+
+// Compare diffs two runs. Metrics are matched by (experiment id, metric
+// name); only metrics with a Better direction can regress. threshold is
+// the tolerated relative loss (0.25 = a gated metric may be up to 25%
+// worse before the report fails).
+func Compare(old, cur *Result, threshold float64) *CompareReport {
+	rep := &CompareReport{Threshold: threshold, OldLabel: old.Label, NewLabel: cur.Label}
+	type key struct{ exp, name string }
+	oldM := make(map[key]Metric)
+	oldSeen := make(map[key]bool)
+	var oldKeys []key
+	for _, e := range old.Experiments {
+		for _, m := range e.Metrics {
+			k := key{e.ID, m.Name}
+			oldM[k] = m
+			oldKeys = append(oldKeys, k)
+		}
+	}
+	for _, e := range cur.Experiments {
+		for _, m := range e.Metrics {
+			k := key{e.ID, m.Name}
+			om, ok := oldM[k]
+			if !ok {
+				rep.Rows = append(rep.Rows, CompareRow{
+					Experiment: e.ID, Metric: m.Name, Unit: m.Unit,
+					Old: math.NaN(), New: m.Value, Delta: math.NaN(), Verdict: VerdictNew,
+				})
+				continue
+			}
+			oldSeen[k] = true
+			row := CompareRow{Experiment: e.ID, Metric: m.Name, Unit: m.Unit, Old: om.Value, New: m.Value}
+			row.Delta = gain(om.Value, m.Value, m.Better)
+			switch {
+			case m.Better == "":
+				row.Verdict = VerdictInfo
+			case math.IsNaN(row.Delta) || row.Delta >= -threshold && row.Delta <= threshold:
+				row.Verdict = VerdictOK
+			case row.Delta > threshold:
+				row.Verdict = VerdictImproved
+			default:
+				row.Verdict = VerdictRegressed
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	// A gated metric present in the baseline but absent from the new run
+	// is a hole in the trajectory, not a pass.
+	for _, k := range oldKeys {
+		m := oldM[k]
+		if oldSeen[k] || m.Better == "" {
+			continue
+		}
+		rep.Rows = append(rep.Rows, CompareRow{
+			Experiment: k.exp, Metric: k.name, Unit: m.Unit,
+			Old: m.Value, New: math.NaN(), Delta: math.NaN(), Verdict: VerdictMissing,
+		})
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool {
+		if rep.Rows[i].Experiment != rep.Rows[j].Experiment {
+			return rep.Rows[i].Experiment < rep.Rows[j].Experiment
+		}
+		return false // keep recording order within an experiment
+	})
+	return rep
+}
+
+// gain computes the relative improvement of new over old in the
+// direction better. 0 means unchanged, +0.10 means 10% better, -0.10
+// means 10% worse.
+func gain(old, cur float64, better string) float64 {
+	if old == 0 {
+		if cur == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	rel := cur/old - 1
+	if better == "lower" {
+		rel = -rel
+	}
+	return rel
+}
+
+// Failed reports whether any gated metric regressed beyond the
+// threshold or vanished from the new run.
+func (r *CompareReport) Failed() bool {
+	for _, row := range r.Rows {
+		if row.Verdict == VerdictRegressed || row.Verdict == VerdictMissing {
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint renders the report as an aligned table plus a one-line
+// verdict.
+func (r *CompareReport) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "comparing %s -> %s (threshold %.0f%%)\n\n",
+		labelOr(r.OldLabel, "old"), labelOr(r.NewLabel, "new"), 100*r.Threshold)
+	t := &Table{
+		ID:      "compare",
+		Title:   "gated metrics first, informational after",
+		Columns: []string{"exp", "metric", "unit", "old", "new", "delta", "verdict"},
+	}
+	emit := func(gated bool) {
+		for _, row := range r.Rows {
+			isInfo := row.Verdict == VerdictInfo || row.Verdict == VerdictNew
+			if gated == isInfo {
+				continue
+			}
+			t.AddRow(row.Experiment, row.Metric, row.Unit,
+				num(row.Old), num(row.New), delta(row.Delta), row.Verdict)
+		}
+	}
+	emit(true)
+	emit(false)
+	t.Fprint(w)
+	if r.Failed() {
+		fmt.Fprintln(w, "FAIL: regression beyond threshold (or baseline metric missing)")
+	} else {
+		fmt.Fprintln(w, "OK: no gated metric regressed beyond threshold")
+	}
+}
+
+func labelOr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func num(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func delta(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*v)
+}

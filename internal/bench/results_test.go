@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleResult(label string, speedup, bytesOnWire, wallMS float64) *Result {
+	r := NewResult(label, "abc1234")
+	rec := NewRecorder()
+	rec.RecordHigher("speedup", "x", speedup)
+	rec.RecordLower("wire_bytes", "B", bytesOnWire)
+	rec.Record("wall", "ms", wallMS)
+	r.Experiments = append(r.Experiments, ExperimentResult{
+		ID: "E9", Name: "demo", WallMS: wallMS, Metrics: rec.Metrics(),
+	})
+	return r
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	r := sampleResult("PR6", 3.5, 120000, 250)
+	var buf bytes.Buffer
+	if err := EncodeResult(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("encoded result must end in a newline")
+	}
+	got, err := DecodeResult(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", r, got)
+	}
+}
+
+func TestDecodeRejectsUnknownSchema(t *testing.T) {
+	if _, err := DecodeResult(strings.NewReader(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Fatal("unknown schema accepted")
+	}
+	if _, err := DecodeResult(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("malformed input accepted")
+	}
+}
+
+func TestNilRecorderDiscards(t *testing.T) {
+	var rec *Recorder
+	rec.Record("a", "x", 1)
+	rec.RecordHigher("b", "x", 2)
+	rec.RecordLower("c", "x", 3)
+	if m := rec.Metrics(); m != nil {
+		t.Fatalf("nil recorder kept metrics: %v", m)
+	}
+}
+
+func compareVerdict(t *testing.T, rep *CompareReport, metric, want string) {
+	t.Helper()
+	for _, row := range rep.Rows {
+		if row.Metric == metric {
+			if row.Verdict != want {
+				t.Errorf("%s: verdict %s, want %s (delta %.3f)", metric, row.Verdict, want, row.Delta)
+			}
+			return
+		}
+	}
+	t.Errorf("metric %s missing from report", metric)
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	old := sampleResult("old", 3.0, 100000, 200)
+
+	t.Run("improvement", func(t *testing.T) {
+		rep := Compare(old, sampleResult("new", 4.5, 60000, 400), 0.25)
+		compareVerdict(t, rep, "speedup", VerdictImproved)
+		compareVerdict(t, rep, "wire_bytes", VerdictImproved)
+		compareVerdict(t, rep, "wall", VerdictInfo) // doubled, but informational
+		if rep.Failed() {
+			t.Error("improvement reported as failure")
+		}
+	})
+
+	t.Run("within-noise", func(t *testing.T) {
+		rep := Compare(old, sampleResult("new", 2.8, 108000, 200), 0.25)
+		compareVerdict(t, rep, "speedup", VerdictOK)
+		compareVerdict(t, rep, "wire_bytes", VerdictOK)
+		if rep.Failed() {
+			t.Error("within-noise change reported as failure")
+		}
+	})
+
+	t.Run("regression", func(t *testing.T) {
+		rep := Compare(old, sampleResult("new", 1.5, 100000, 200), 0.25)
+		compareVerdict(t, rep, "speedup", VerdictRegressed)
+		if !rep.Failed() {
+			t.Error("regression not reported as failure")
+		}
+	})
+
+	t.Run("missing-gated-metric", func(t *testing.T) {
+		cur := sampleResult("new", 3.0, 100000, 200)
+		cur.Experiments[0].Metrics = cur.Experiments[0].Metrics[:1] // drop wire_bytes + wall
+		rep := Compare(old, cur, 0.25)
+		compareVerdict(t, rep, "wire_bytes", VerdictMissing)
+		if !rep.Failed() {
+			t.Error("missing gated metric not reported as failure")
+		}
+	})
+
+	t.Run("new-metric", func(t *testing.T) {
+		cur := sampleResult("new", 3.0, 100000, 200)
+		cur.Experiments[0].Metrics = append(cur.Experiments[0].Metrics,
+			Metric{Name: "fresh", Unit: "x", Value: 1, Better: "higher"})
+		rep := Compare(old, cur, 0.25)
+		compareVerdict(t, rep, "fresh", VerdictNew)
+		if rep.Failed() {
+			t.Error("new metric reported as failure")
+		}
+	})
+
+	t.Run("zero-baseline", func(t *testing.T) {
+		z := sampleResult("old", 3.0, 0, 200)
+		rep := Compare(z, sampleResult("new", 3.0, 50, 200), 0.25)
+		compareVerdict(t, rep, "wire_bytes", VerdictOK) // 0 -> 50: undefined ratio, not a gate
+	})
+}
+
+// TestCompareFixtures runs the -compare engine over the checked-in
+// fixture files — the injected-regression case the CI gate must catch,
+// plus its passing counterpart.
+func TestCompareFixtures(t *testing.T) {
+	load := func(name string) *Result {
+		f, err := os.Open(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		r, err := DecodeResult(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return r
+	}
+	base := load("compare_base.json")
+	if rep := Compare(base, load("compare_ok.json"), 0.25); rep.Failed() {
+		t.Error("compare_ok fixture failed against the base")
+	}
+	rep := Compare(base, load("compare_regressed.json"), 0.25)
+	if !rep.Failed() {
+		t.Fatal("injected regression not detected")
+	}
+	var buf bytes.Buffer
+	rep.Fprint(&buf)
+	if !strings.Contains(buf.String(), "FAIL") {
+		t.Errorf("report lacks FAIL verdict:\n%s", buf.String())
+	}
+}
+
+func TestGain(t *testing.T) {
+	cases := []struct {
+		old, cur float64
+		better   string
+		want     float64
+	}{
+		{100, 110, "higher", 0.10},
+		{100, 90, "higher", -0.10},
+		{100, 90, "lower", 0.10},
+		{100, 110, "lower", -0.10},
+		{100, 100, "higher", 0},
+		{0, 0, "lower", 0},
+	}
+	for _, c := range cases {
+		if got := gain(c.old, c.cur, c.better); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("gain(%v, %v, %s) = %v, want %v", c.old, c.cur, c.better, got, c.want)
+		}
+	}
+	if !math.IsNaN(gain(0, 5, "lower")) {
+		t.Error("gain from a zero baseline must be NaN")
+	}
+}

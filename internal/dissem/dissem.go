@@ -7,7 +7,9 @@
 // what is *broadcast*, but each subscriber's terminal forwards to its
 // card only the blocks the card asks for, so skips still save the
 // card-link transfer and the decryption that dominate the target
-// hardware.
+// hardware. When a document is re-published as a block-level delta,
+// DeltaBroadcast pushes only the changed blocks to the subscriber
+// fleet.
 package dissem
 
 import (

@@ -131,7 +131,9 @@ func (c *Client) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 		if r.err != nil {
 			return nil, r.err
 		}
-		out = append(out, append([]byte(nil), b...))
+		// The frame buffer was allocated for this response alone, so the
+		// blocks can alias it instead of being copied out one by one.
+		out = append(out, b)
 	}
 	return out, nil
 }

@@ -89,6 +89,10 @@ type FileStoreStats struct {
 	// barriers actually issued — group commit makes it smaller than the
 	// number of durable commits.
 	Records, AppendedBytes, Syncs int64
+	// SyncWaits counts durable commits served through the cross-segment
+	// group committer; SyncRounds counts the fsync rounds it ran.
+	// SyncWaits/SyncRounds is the achieved commit-batching factor.
+	SyncWaits, SyncRounds int64
 	// WALBytes is the combined current log length; Checkpoints counts
 	// segment checkpoints taken since open (one Checkpoint() call
 	// checkpoints every segment).
@@ -135,6 +139,10 @@ type FileStore struct {
 	opts FileStoreOptions
 	lock *dirLock
 	segs []*segment
+
+	// gc batches durability barriers across segments: concurrent commits
+	// share fsync rounds instead of each paying per-segment barriers.
+	gc *groupCommitter
 
 	// segBudget is the per-segment auto-checkpoint threshold
 	// (CheckpointBytes split across segments; <= 0 disables).
@@ -233,6 +241,7 @@ func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) 
 		return nil, err
 	}
 	s.recovery = time.Since(start)
+	s.gc = newGroupCommitter()
 	if s.opts.CheckpointBytes > 0 {
 		s.segBudget = s.opts.CheckpointBytes / int64(len(s.segs))
 		if s.segBudget < 1 {
@@ -532,6 +541,10 @@ func (s *FileStore) Stats() FileStoreStats {
 		LastCheckpointDuration: time.Duration(s.lastCkpt.Load()),
 		Migrated:               s.migrated,
 	}
+	if s.gc != nil {
+		st.SyncWaits = s.gc.waits.Load()
+		st.SyncRounds = s.gc.rounds.Load()
+	}
 	for _, seg := range s.segs {
 		st.Records += seg.wal.records.Load()
 		st.AppendedBytes += seg.wal.bytesAppended.Load()
@@ -547,6 +560,9 @@ func (s *FileStore) Stats() FileStoreStats {
 // Checkpoint before Close for an instant next start.
 func (s *FileStore) Close() error {
 	s.stopCheckpointWorker()
+	if s.gc != nil {
+		s.gc.stop()
+	}
 	var first error
 	for _, seg := range s.segs {
 		if seg.wal == nil {
@@ -598,10 +614,11 @@ func (s *FileStore) logged(seg *segment, apply func() error, record func() []byt
 	return off, nil
 }
 
-// durable waits for offset off of the segment's log to hit the disk,
-// then checks the segment's checkpoint trigger.
+// durable waits for offset off of the segment's log to hit the disk —
+// through the group committer, so concurrent commits across segments
+// share fsync rounds — then checks the segment's checkpoint trigger.
 func (s *FileStore) durable(seg *segment, off int64) error {
-	if err := seg.wal.syncTo(off); err != nil {
+	if err := s.gc.wait(seg.wal, off); err != nil {
 		return s.fail(err)
 	}
 	s.scheduleCheckpoint(seg)

@@ -1,0 +1,167 @@
+package dsp
+
+// Cross-segment group commit. Each segment's walWriter already
+// collapses concurrent barriers on its own file, but a FileStore spread
+// over N segments still pays one fsync per dirty segment per commit:
+// eight writers hitting eight segments issue eight barriers even though
+// the disk could absorb them together. The groupCommitter turns
+// durability waits into rounds: committers register the (writer,
+// offset) they need durable and block; a dedicated syncer drains one
+// round at a time, issuing a single fsync per dirty segment that covers
+// every committer who joined. While a round's fsyncs are in flight,
+// arriving committers accumulate into the next round — under load the
+// batch grows and fsyncs-per-commit falls, with no timers and no added
+// latency when the store is idle (a lone committer's round starts
+// immediately).
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// syncRound is one batch of durability waits: the highest offset needed
+// per writer, and the per-writer outcome once the barriers ran.
+type syncRound struct {
+	offs map[*walWriter]int64
+	errs map[*walWriter]error
+	done chan struct{}
+}
+
+// groupCommitter batches durability barriers across WAL segments.
+type groupCommitter struct {
+	mu      sync.Mutex
+	next    *syncRound // accumulating round, nil when none pending
+	stopped bool
+
+	wake chan struct{} // 1-buffered doorbell for the syncer
+	quit chan struct{}
+	done chan struct{}
+
+	// waits counts commits served through rounds; rounds counts rounds
+	// executed. waits/rounds is the achieved batching factor.
+	waits  atomic.Int64
+	rounds atomic.Int64
+
+	// testRoundGate, when set, runs at the head of every round — tests
+	// use it to hold a round open while more committers pile into the
+	// next one. Set before the first wait().
+	testRoundGate func()
+}
+
+func newGroupCommitter() *groupCommitter {
+	gc := &groupCommitter{
+		wake: make(chan struct{}, 1),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go gc.run()
+	return gc
+}
+
+// wait blocks until offset off of w's log is durable, sharing fsync
+// barriers with every other commit in the same round.
+func (gc *groupCommitter) wait(w *walWriter, off int64) error {
+	// Already covered (or a NoSync store): no round needed.
+	if w.noSync || w.synced.Load() >= off {
+		return nil
+	}
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		return w.syncTo(off)
+	}
+	r := gc.next
+	if r == nil {
+		r = &syncRound{offs: make(map[*walWriter]int64), done: make(chan struct{})}
+		gc.next = r
+	}
+	if off > r.offs[w] {
+		r.offs[w] = off
+	}
+	gc.mu.Unlock()
+	gc.waits.Add(1)
+	select {
+	case gc.wake <- struct{}{}:
+	default:
+	}
+	<-r.done
+	return r.errs[w]
+}
+
+// run is the syncer: it drains pending rounds until stopped, then
+// drains one final time so no waiter is left blocked.
+func (gc *groupCommitter) run() {
+	defer close(gc.done)
+	for {
+		select {
+		case <-gc.wake:
+			gc.drain()
+		case <-gc.quit:
+			gc.drain()
+			return
+		}
+	}
+}
+
+// drain executes rounds until none is pending. Arrivals during a
+// round's barriers form the next round, so consecutive iterations here
+// are where the batching pays off.
+func (gc *groupCommitter) drain() {
+	for {
+		gc.mu.Lock()
+		r := gc.next
+		gc.next = nil
+		gc.mu.Unlock()
+		if r == nil {
+			return
+		}
+		gc.runRound(r)
+	}
+}
+
+// runRound issues the round's barriers — one syncTo per dirty segment,
+// in parallel since the segments are separate files — and releases the
+// waiters with their writer's outcome.
+func (gc *groupCommitter) runRound(r *syncRound) {
+	gc.rounds.Add(1)
+	if gc.testRoundGate != nil {
+		gc.testRoundGate()
+	}
+	type result struct {
+		w   *walWriter
+		err error
+	}
+	results := make([]result, 0, len(r.offs))
+	for w := range r.offs {
+		results = append(results, result{w: w})
+	}
+	var wg sync.WaitGroup
+	for i := range results {
+		wg.Add(1)
+		go func(res *result) {
+			defer wg.Done()
+			res.err = res.w.syncTo(r.offs[res.w])
+		}(&results[i])
+	}
+	wg.Wait()
+	r.errs = make(map[*walWriter]error, len(results))
+	for _, res := range results {
+		r.errs[res.w] = res.err
+	}
+	close(r.done)
+}
+
+// stop shuts the syncer down after a final drain; wait() calls arriving
+// later fall back to a direct per-segment barrier.
+func (gc *groupCommitter) stop() {
+	gc.mu.Lock()
+	if gc.stopped {
+		gc.mu.Unlock()
+		<-gc.done
+		return
+	}
+	gc.stopped = true
+	gc.mu.Unlock()
+	close(gc.quit)
+	<-gc.done
+}

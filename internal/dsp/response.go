@@ -1,0 +1,153 @@
+package dsp
+
+// The server's zero-copy response path. A response used to be one
+// contiguous []byte, which cost a batched block read three copies of
+// every block: the body assembly, the okResponse status-prefix rebuild,
+// and nothing pooled — a 256 KiB run allocated ~2 MB per request. Here
+// a response is a pooled head buffer (frame header, status byte, and
+// every serialized body byte except block payloads) plus references to
+// the store's block slices, written with one vectored write
+// (net.Buffers → writev): block bytes cross from the store's memory to
+// the socket without being copied by us at all. Stored blocks are
+// immutable once published (updates install fresh slices), so handing
+// them to writev is safe even while a re-publish commits.
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+)
+
+// response is one assembled reply travelling from dispatch to the
+// per-connection writer.
+type response struct {
+	// head is [4-byte frame length][status][non-block body bytes...].
+	// The frame length is filled in at write time, when the total is
+	// known.
+	head []byte
+	// blocks are payloads referenced in place (zero copy). Block i goes
+	// on the wire after head[cuts[i-1]:cuts[i]] — the head segment
+	// holding its varint length prefix (empty for raw payloads).
+	blocks     [][]byte
+	cuts       []int
+	blockBytes int
+
+	// bufs is the reused iovec scratch for the vectored write.
+	bufs net.Buffers
+}
+
+// maxPooledRespHead bounds the head capacity a pooled response may
+// retain — a one-off huge header or list response must not pin its
+// buffer in the pool forever.
+const maxPooledRespHead = 64 << 10
+
+var respPool = sync.Pool{New: func() any { return new(response) }}
+
+// newResponse returns a pooled response initialized as an empty OK
+// reply.
+func newResponse() *response {
+	r := respPool.Get().(*response)
+	if r.head == nil {
+		r.head = make([]byte, 0, 512)
+	}
+	r.head = append(r.head[:0], 0, 0, 0, 0, statusOK)
+	r.blocks = r.blocks[:0]
+	r.cuts = r.cuts[:0]
+	r.blockBytes = 0
+	return r
+}
+
+// release returns the response to the pool, dropping references into
+// store memory (a pooled response must not pin blocks) and oversized
+// buffers.
+func (r *response) release() {
+	for i := range r.blocks {
+		r.blocks[i] = nil
+	}
+	for i := range r.bufs {
+		r.bufs[i] = nil
+	}
+	r.bufs = r.bufs[:0]
+	if cap(r.head) > maxPooledRespHead {
+		r.head = nil
+	}
+	respPool.Put(r)
+}
+
+// size is the frame payload size the response has grown to.
+func (r *response) size() int { return len(r.head) - 4 + r.blockBytes }
+
+// setErr rewrites the response, whatever it holds, into an error reply.
+func (r *response) setErr(err error) *response {
+	r.head = append(r.head[:4], statusErr)
+	r.head = append(r.head, err.Error()...)
+	r.blocks = r.blocks[:0]
+	r.cuts = r.cuts[:0]
+	r.blockBytes = 0
+	return r
+}
+
+// appendBody copies small serialized bytes (headers, id lists) into the
+// head.
+func (r *response) appendBody(p []byte) { r.head = append(r.head, p...) }
+
+// appendUvarint serializes v into the head.
+func (r *response) appendUvarint(v uint64) { r.head = binary.AppendUvarint(r.head, v) }
+
+// appendString serializes a length-prefixed string into the head.
+func (r *response) appendString(s string) {
+	r.appendUvarint(uint64(len(s)))
+	r.head = append(r.head, s...)
+}
+
+// appendBlock appends one length-prefixed block without copying it: the
+// varint goes into the head, the payload is referenced in place.
+func (r *response) appendBlock(b []byte) {
+	r.appendUvarint(uint64(len(b)))
+	r.blocks = append(r.blocks, b)
+	r.cuts = append(r.cuts, len(r.head))
+	r.blockBytes += len(b)
+}
+
+// appendRaw appends payload bytes without copy or prefix (the
+// single-block and rule-set replies, whose body is the payload itself).
+func (r *response) appendRaw(b []byte) {
+	r.blocks = append(r.blocks, b)
+	r.cuts = append(r.cuts, len(r.head))
+	r.blockBytes += len(b)
+}
+
+// writeTo puts the response on the wire: one Write for a contiguous
+// reply, one vectored write interleaving head segments and block
+// payloads otherwise.
+func (r *response) writeTo(w io.Writer) error {
+	n := r.size()
+	if n > maxFrame {
+		// Callers bound their payloads at dispatch; defend anyway rather
+		// than emit a frame the peer must refuse.
+		return r.setErr(errFrameLimit(n)).writeTo(w)
+	}
+	binary.BigEndian.PutUint32(r.head[:4], uint32(n))
+	if len(r.blocks) == 0 {
+		_, err := w.Write(r.head)
+		return err
+	}
+	bufs := r.bufs[:0]
+	prev := 0
+	for i, cut := range r.cuts {
+		if cut > prev {
+			bufs = append(bufs, r.head[prev:cut])
+		}
+		if len(r.blocks[i]) > 0 {
+			bufs = append(bufs, r.blocks[i])
+		}
+		prev = cut
+	}
+	if prev < len(r.head) {
+		bufs = append(bufs, r.head[prev:])
+	}
+	r.bufs = bufs
+	_, err := (&r.bufs).WriteTo(w)
+	return err
+}

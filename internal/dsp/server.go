@@ -1,7 +1,6 @@
 package dsp
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -159,7 +158,7 @@ func (s *Server) handle(conn net.Conn) {
 	// pending carries, in request order, the channel each in-flight
 	// request will deliver its response on. Its capacity is the pipeline
 	// depth: a client that floods frames blocks the reader, not the pool.
-	pending := make(chan chan []byte, s.cfg.PipelineDepth)
+	pending := make(chan chan *response, s.cfg.PipelineDepth)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
@@ -167,9 +166,12 @@ func (s *Server) handle(conn net.Conn) {
 		for ch := range pending {
 			resp := <-ch
 			if broken {
+				resp.release()
 				continue // drain so dispatchers are never abandoned
 			}
-			if err := writeFrame(conn, resp); err != nil {
+			err := resp.writeTo(conn)
+			resp.release()
+			if err != nil {
 				if !errors.Is(err, net.ErrClosed) {
 					s.logf("dsp: connection %s: write: %v", remoteAddr(conn), err)
 				}
@@ -188,10 +190,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			break
 		}
-		ch := make(chan []byte, 1)
+		ch := make(chan *response, 1)
 		pending <- ch
 		s.workers <- struct{}{}
-		go func(req []byte, ch chan<- []byte) {
+		go func(req []byte, ch chan<- *response) {
 			defer func() { <-s.workers }()
 			ch <- s.dispatch(req)
 		}(req, ch)
@@ -208,10 +210,13 @@ func remoteAddr(conn net.Conn) string {
 	return "?"
 }
 
-// dispatch executes one request and builds the response.
-func (s *Server) dispatch(req []byte) []byte {
+// dispatch executes one request and builds the response in a pooled
+// buffer; the per-connection writer releases it after the vectored
+// write. Block payloads are referenced from the store, never copied.
+func (s *Server) dispatch(req []byte) *response {
+	resp := newResponse()
 	if len(req) == 0 {
-		return errResponse(fmt.Errorf("dsp: empty request"))
+		return resp.setErr(fmt.Errorf("dsp: empty request"))
 	}
 	op := req[0]
 	r := &wireReader{data: req, pos: 1}
@@ -219,130 +224,132 @@ func (s *Server) dispatch(req []byte) []byte {
 	case opPutDocument:
 		c, err := docenc.UnmarshalContainer(r.rest())
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
 		if err := s.store.PutDocument(c); err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(nil)
+		return resp
 	case opHeader:
 		docID := r.string()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		h, err := s.store.Header(docID)
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
 		hb, err := h.MarshalBinary()
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(hb)
+		resp.appendBody(hb)
+		return resp
 	case opReadBlock:
 		docID := r.string()
 		idx := r.uvarint()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		b, err := s.store.ReadBlock(docID, int(idx))
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(b)
+		resp.appendRaw(b)
+		return resp
 	case opReadBlocks:
 		docID := r.string()
 		start := r.uvarint()
 		count := r.uvarint()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		if count > maxBatchBlocks {
-			return errResponse(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
+			return resp.setErr(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
 		}
 		// No document has anywhere near 2^31 blocks: reject hostile
 		// offsets before they reach int arithmetic.
 		if start > 1<<31 {
-			return errResponse(fmt.Errorf("dsp: block offset %d out of range", start))
+			return resp.setErr(fmt.Errorf("dsp: block offset %d out of range", start))
 		}
 		blocks, err := ReadBlockRange(s.store, docID, int(start), int(count))
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		body := binary.AppendUvarint(nil, uint64(len(blocks)))
+		resp.appendUvarint(uint64(len(blocks)))
 		for _, b := range blocks {
-			body = appendBytes(body, b)
+			resp.appendBlock(b)
 		}
 		// A run of large blocks can outgrow the frame limit even within
 		// the count cap; report it as an error the client can act on
 		// (request fewer blocks) instead of letting the writer tear the
 		// connection down on an unsendable frame.
-		if len(body)+1 > maxFrame {
-			return errResponse(fmt.Errorf(
-				"dsp: batch response of %d bytes exceeds frame limit; request fewer blocks", len(body)))
+		if resp.size() > maxFrame {
+			return resp.setErr(errFrameLimit(resp.size()))
 		}
-		return okResponse(body)
+		return resp
 	case opBeginUpdate:
 		up, ok := s.store.(DocUpdater)
 		if !ok {
-			return errResponse(ErrUpdateUnsupported)
+			return resp.setErr(ErrUpdateUnsupported)
 		}
 		base := r.uvarint()
 		hb := r.bytes()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		// Versions are 32-bit; a wider wire value must fail loudly, not
 		// be truncated into a base the client never named.
 		if base > math.MaxUint32 {
-			return errResponse(fmt.Errorf("dsp: base version %d out of range", base))
+			return resp.setErr(fmt.Errorf("dsp: base version %d out of range", base))
 		}
 		h, _, err := docenc.UnmarshalHeader(hb)
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
 		token, err := up.BeginUpdate(h, uint32(base))
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(binary.AppendUvarint(nil, token))
+		resp.appendUvarint(token)
+		return resp
 	case opPutBlocks:
 		up, ok := s.store.(DocUpdater)
 		if !ok {
-			return errResponse(ErrUpdateUnsupported)
+			return resp.setErr(ErrUpdateUnsupported)
 		}
 		token := r.uvarint()
 		start := r.uvarint()
 		count := r.uvarint()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		if count > maxBatchBlocks {
-			return errResponse(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
+			return resp.setErr(fmt.Errorf("dsp: batch of %d blocks exceeds limit %d", count, maxBatchBlocks))
 		}
 		if start > 1<<31 {
-			return errResponse(fmt.Errorf("dsp: block offset %d out of range", start))
+			return resp.setErr(fmt.Errorf("dsp: block offset %d out of range", start))
 		}
 		blocks := make([][]byte, 0, count)
 		for i := uint64(0); i < count; i++ {
 			b := r.bytes()
 			if r.err != nil {
-				return errResponse(r.err)
+				return resp.setErr(r.err)
 			}
 			blocks = append(blocks, b)
 		}
 		if err := up.PutBlocks(token, int(start), blocks); err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(nil)
+		return resp
 	case opCommitUpdate, opAbortUpdate:
 		up, ok := s.store.(DocUpdater)
 		if !ok {
-			return errResponse(ErrUpdateUnsupported)
+			return resp.setErr(ErrUpdateUnsupported)
 		}
 		token := r.uvarint()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		var err error
 		if op == opCommitUpdate {
@@ -351,51 +358,50 @@ func (s *Server) dispatch(req []byte) []byte {
 			err = up.AbortUpdate(token)
 		}
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(nil)
+		return resp
 	case opPutRuleSet:
 		docID := r.string()
 		subject := r.string()
 		version := r.uvarint()
 		sealed := r.bytes()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		if err := s.store.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(nil)
+		return resp
 	case opRuleSet:
 		docID := r.string()
 		subject := r.string()
 		if r.err != nil {
-			return errResponse(r.err)
+			return resp.setErr(r.err)
 		}
 		sealed, err := s.store.RuleSet(docID, subject)
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		return okResponse(sealed)
+		resp.appendRaw(sealed)
+		return resp
 	case opList:
 		ids, err := s.store.ListDocuments()
 		if err != nil {
-			return errResponse(err)
+			return resp.setErr(err)
 		}
-		body := binary.AppendUvarint(nil, uint64(len(ids)))
+		resp.appendUvarint(uint64(len(ids)))
 		for _, id := range ids {
-			body = appendString(body, id)
+			resp.appendString(id)
 		}
-		return okResponse(body)
+		return resp
 	default:
-		return errResponse(fmt.Errorf("dsp: unknown op %d", op))
+		return resp.setErr(fmt.Errorf("dsp: unknown op %d", op))
 	}
 }
 
-func okResponse(body []byte) []byte {
-	return append([]byte{statusOK}, body...)
-}
-
-func errResponse(err error) []byte {
-	return append([]byte{statusErr}, err.Error()...)
+// errFrameLimit is the oversized-response error, shared by dispatch's
+// pre-check and writeTo's last-line defence.
+func errFrameLimit(n int) error {
+	return fmt.Errorf("dsp: batch response of %d bytes exceeds frame limit; request fewer blocks", n)
 }

@@ -1,0 +1,108 @@
+package dsp
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/docenc"
+	"repro/internal/secure"
+)
+
+// benchContainer builds a synthetic container: blockBytes of stored
+// payload per block (the store never inspects ciphertext, so repeated
+// bytes are as good as real AES output for wire benchmarks).
+func benchContainer(docID string, nBlocks, blockBytes int) *docenc.Container {
+	plain := blockBytes - secure.MACLen
+	h := docenc.Header{DocID: docID, Version: 1, BlockPlain: uint32(plain),
+		PayloadLen: uint64(plain) * uint64(nBlocks)}
+	c := &docenc.Container{Header: h}
+	for i := 0; i < nBlocks; i++ {
+		c.Blocks = append(c.Blocks, bytes.Repeat([]byte{byte(i)}, blockBytes))
+	}
+	return c
+}
+
+// BenchmarkWireReadBlocks measures the batched block read path end to
+// end over loopback TCP — store lookup, response framing, the wire, and
+// the client decode — at skip-run shapes. AllocsPerOp covers both sides
+// of the connection (the server goroutines run in-process), so it is
+// the number the pooled zero-copy framing is accountable to.
+func BenchmarkWireReadBlocks(b *testing.B) {
+	for _, shape := range []struct {
+		run        int
+		blockBytes int
+	}{
+		{8, 1024},
+		{8, 4096},
+		{64, 4096},
+	} {
+		b.Run(fmt.Sprintf("run=%d/block=%d", shape.run, shape.blockBytes), func(b *testing.B) {
+			store := NewMemStore()
+			const nBlocks = 64
+			if err := store.PutDocument(benchContainer("bench", nBlocks, shape.blockBytes)); err != nil {
+				b.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := NewServer(store)
+			go func() { _ = srv.Serve(l) }()
+			defer srv.Close()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			b.SetBytes(int64(shape.run * shape.blockBytes))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := (i * shape.run) % nBlocks
+				if at+shape.run > nBlocks {
+					at = 0
+				}
+				blocks, err := c.ReadBlocks("bench", at, shape.run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(blocks) != shape.run {
+					b.Fatalf("got %d blocks", len(blocks))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireReadBlock measures the single-block op the serial
+// terminal issues — the per-round-trip floor of the pull path.
+func BenchmarkWireReadBlock(b *testing.B) {
+	store := NewMemStore()
+	if err := store.PutDocument(benchContainer("bench", 64, 1024)); err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := NewServer(store)
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.ReadBlock("bench", i%64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -12,8 +12,13 @@
 // it is built for concurrent traffic: MemStore shards documents across
 // independently locked partitions, Cache keeps hot encrypted blocks in an
 // LRU front, the TCP server pipelines requests per connection over a
-// bounded worker pool, and Pool fans client traffic over several
-// connections. cmd/dspd serves a store over a length-prefixed binary
+// bounded worker pool and answers block reads zero-copy (pooled response
+// heads, one vectored write over store-owned block references — blocks
+// are immutable once published, so the wire path never copies them), and
+// Pool fans client traffic over several connections. FileStore keeps the
+// same in-memory tier durable: per-shard WAL segments with group commit
+// within and across segments, streaming checkpoints, and parallel
+// recovery. cmd/dspd serves a store over a length-prefixed binary
 // protocol.
 package dsp
 

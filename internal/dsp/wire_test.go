@@ -116,9 +116,10 @@ func TestDispatchMalformedRequests(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			resp := srv.dispatch(tc.req)
-			if len(resp) == 0 || resp[0] != statusErr {
-				t.Errorf("dispatch(%v) = %v, want error status", tc.req, resp)
+			if len(resp.head) <= 4 || resp.head[4] != statusErr {
+				t.Errorf("dispatch(%v) = %v, want error status", tc.req, resp.head)
 			}
+			resp.release()
 		})
 	}
 }
