@@ -9,7 +9,7 @@ BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
 # >50% worse fails the build.
 BENCH_THRESHOLD ?= 0.5
 
-.PHONY: build test bench bench-smoke bench-json bench-compare fmt vet staticcheck ci
+.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -18,6 +18,11 @@ build:
 ## test: run the full test suite under the race detector
 test:
 	$(GO) test -race ./...
+
+## test-nommap: exercise the portable (heap-copy) checkpoint read path —
+## the fallback non-unix platforms and dspd -mmap=false take
+test-nommap:
+	$(GO) test -tags nommap ./internal/dsp/
 
 ## bench: one-iteration benchmark smoke run (perf code must keep compiling and running)
 bench:
@@ -64,4 +69,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test bench bench-compare
+ci: fmt vet staticcheck build test test-nommap bench bench-compare

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dspd [-addr :7070] [-store DIR] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0]
+//	dspd [-addr :7070] [-store DIR] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0] [-mmap=true]
 //
 // Without -store the store is in-memory: sharded by document id,
 // fronted by an LRU block cache, gone on exit. With -store DIR it is
@@ -49,6 +49,8 @@ func main() {
 		"with -store: skip fsync (throughput over durability; a crash can lose acknowledged writes)")
 	recoveryWorkers := flag.Int("recovery-workers", 0,
 		"with -store: parallel segment-recovery workers at startup (0: GOMAXPROCS, 1: sequential)")
+	useMmap := flag.Bool("mmap", true,
+		"with -store: mmap checkpoint images and serve checkpoint-resident blocks as zero-copy views (off: heap-resident tier only)")
 	flag.Parse()
 
 	var store dsp.Store
@@ -60,6 +62,7 @@ func main() {
 			NoSync:              *noSync,
 			CheckpointBytes:     int64(*ckptMB) << 20,
 			RecoveryParallelism: *recoveryWorkers,
+			DisableMmap:         !*useMmap,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -67,6 +70,12 @@ func main() {
 		st := durable.Stats()
 		log.Printf("dspd: recovered %s in %v: %d segments, %d log records replayed (%d superseded), torn tail: %v",
 			*storeDir, st.RecoveryDuration, st.SegmentCount, st.ReplayedRecords, st.SkippedRecords, st.TornTail)
+		if st.MappedBytes > 0 {
+			log.Printf("dspd: mmap tier: %d KiB of checkpoint images mapped across %d segments", st.MappedBytes>>10, st.SegmentCount)
+		}
+		if st.FooterMigrations > 0 {
+			log.Printf("dspd: rewrote %d checkpoint images with block-index footers", st.FooterMigrations)
+		}
 		if st.Migrated {
 			log.Printf("dspd: migrated %s from the single-file layout to %d segments", *storeDir, st.SegmentCount)
 		}
@@ -130,5 +139,6 @@ func main() {
 		st := durable.Stats()
 		log.Printf("dspd: wal %d records / %d KiB appended, %d fsync barriers, %d segment checkpoints",
 			st.Records, st.AppendedBytes>>10, st.Syncs, st.Checkpoints)
+		log.Printf("dspd: reads served: %d mapped (zero-copy), %d heap", st.MmapReads, st.HeapReads)
 	}
 }

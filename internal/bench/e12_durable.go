@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -253,6 +254,8 @@ func E12DurableThroughput(rec *Recorder) (*Table, *Table) {
 		if st := be.stats(s); st != nil {
 			beforeApp, beforeSync = st.AppendedBytes, st.Syncs
 		}
+		var memBefore, memAfter runtime.MemStats
+		runtime.ReadMemStats(&memBefore)
 		start = time.Now()
 		for v := uint32(2); v < 2+deltaRounds; v++ {
 			if err := e12DeltaRound(s, v); err != nil {
@@ -260,7 +263,9 @@ func E12DurableThroughput(rec *Recorder) (*Table, *Table) {
 			}
 		}
 		deltaWall := time.Since(start)
+		runtime.ReadMemStats(&memAfter)
 		commits := int64(deltaRounds * e12Docs)
+		commitAllocs := float64(memAfter.Mallocs-memBefore.Mallocs) / float64(commits)
 		var perCommitBytes, perCommitSyncs float64
 		if st := be.stats(s); st != nil {
 			perCommitBytes = float64(st.AppendedBytes-beforeApp) / float64(commits)
@@ -294,6 +299,12 @@ func E12DurableThroughput(rec *Recorder) (*Table, *Table) {
 				fmt.Sprintf("%.0fx less", float64(imageBytes)/perCommitBytes))
 			rec.RecordLower(fmt.Sprintf("commit_bytes_%s", be.name), "B", perCommitBytes)
 			rec.RecordLower(fmt.Sprintf("fsyncs_per_commit_%s", be.name), "fsyncs", perCommitSyncs)
+			// Heap allocations per 1-block delta commit, process-wide
+			// (includes the group committer). The delta is dominated by the
+			// container build in e12Container, but the WAL append path rides
+			// on top — a regression there (per-record marshaling garbage,
+			// lost buffer reuse) moves this number, so it is gated.
+			rec.RecordLower(fmt.Sprintf("commit_allocs_%s", be.name), "allocs", commitAllocs)
 			rec.RecordHigher(fmt.Sprintf("amplification_advantage_%s", be.name), "x",
 				float64(imageBytes)/perCommitBytes)
 		}

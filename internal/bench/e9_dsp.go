@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
 
@@ -170,11 +171,50 @@ func (r *DSPRig) Hammer(clients, passes int, batched bool) (float64, error) {
 	return float64(total) / time.Since(start).Seconds(), nil
 }
 
+// AllocsPerRead measures heap allocations per batched wire read against
+// the rig: ops serial ReadBlocksFrame round trips over one connection
+// (pooled frames released each op), counted process-wide so the server
+// side of the loopback connection is included. Pools are warmed first,
+// so the number is the steady-state per-op toll the zero-copy path is
+// accountable to.
+func (r *DSPRig) AllocsPerRead(run, ops int) (float64, error) {
+	c, err := dsp.Dial(r.Addr)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	id := r.Docs[0].Header.DocID
+	readOne := func() error {
+		f, err := c.ReadBlocksFrame(id, 0, run)
+		if err != nil {
+			return err
+		}
+		f.Release()
+		return nil
+	}
+	for i := 0; i < 32; i++ { // warm response, frame and worker pools
+		if err := readOne(); err != nil {
+			return 0, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := readOne(); err != nil {
+			return 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops), nil
+}
+
 // E9ConcurrentDSP compares aggregate block throughput of the two DSP
 // configurations as the number of concurrent clients grows. Recorded
 // metrics: absolute blk/s and the core-count-dependent speedup
 // (informational), the cache hit rate (gated — deterministic for the
-// seeded workload).
+// seeded workload), and the steady-state allocations per batched wire
+// read (gated — the pooled frames and zero-copy response path make it a
+// fixed per-op toll, independent of load and cores).
 func E9ConcurrentDSP(rec *Recorder) []*Table {
 	const (
 		nDocs  = 4
@@ -231,5 +271,12 @@ func E9ConcurrentDSP(rec *Recorder) []*Table {
 			pct(hits, lookups),
 		)
 	}
+	allocs, err := scaled.AllocsPerRead(e9RunLen, 200)
+	if err != nil {
+		panic(err)
+	}
+	rec.RecordLower("wire_read_allocs_per_op", "allocs", allocs)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("batched wire read steady state: %.1f allocs/op end to end (pooled frames, zero-copy response)", allocs))
 	return []*Table{t}
 }

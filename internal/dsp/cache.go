@@ -244,9 +244,32 @@ func (c *Cache) ReadBlock(docID string, idx int) ([]byte, error) {
 // memory and each gap is fetched from the backing store in one batched
 // read (when it supports ranges).
 func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
+	return c.readBlocks(docID, start, count, nil)
+}
+
+// ReadBlocksPinned implements PinnedBlockReader: cache hits are ordinary
+// heap blocks, and gap fills pass the pins through to the backing store,
+// so a mostly-cold range still travels mmap → writev without a copy.
+func (c *Cache) ReadBlocksPinned(docID string, start, count int, pins *[]BlockPin) ([][]byte, bool, error) {
+	pre := len(*pins)
+	out, err := c.readBlocks(docID, start, count, pins)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, len(*pins) > pre, nil
+}
+
+// readBlocks is the shared range read. With pins == nil every gap fill
+// comes back as store-owned heap memory and is inserted into the LRU;
+// with pins set, fills go through the backing store's pinned path, and a
+// fill that came back mapped is served but NOT cached — the views are
+// only valid until the pin releases, while a cache entry would outlive
+// it and serve unmapped memory.
+func (c *Cache) readBlocks(docID string, start, count int, pins *[]BlockPin) ([][]byte, error) {
 	if start < 0 || count < 0 {
 		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
 	}
+	pr, pinnable := c.store.(PinnedBlockReader)
 	out := make([][]byte, count)
 	missFrom := -1
 	flushGap := func(end int) error {
@@ -254,12 +277,22 @@ func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 			return nil
 		}
 		wantGen := c.genValue(docID)
-		got, err := ReadBlockRange(c.store, docID, start+missFrom, end-missFrom)
+		var got [][]byte
+		var mapped bool
+		var err error
+		if pins != nil && pinnable {
+			got, mapped, err = pr.ReadBlocksPinned(docID, start+missFrom, end-missFrom, pins)
+		} else {
+			got, err = ReadBlockRange(c.store, docID, start+missFrom, end-missFrom)
+		}
 		if err != nil {
 			return err
 		}
 		for j, b := range got {
 			out[missFrom+j] = b
+			if mapped {
+				continue // pinned views must not outlive the pin in the LRU
+			}
 			k := cacheKey{docID: docID, idx: start + missFrom + j}
 			c.evictions.Add(c.insert(c.shard(k), k, wantGen, b))
 		}
@@ -364,7 +397,8 @@ func (c *Cache) ListDocuments() ([]string, error) {
 }
 
 var (
-	_ Store            = (*Cache)(nil)
-	_ BlockRangeReader = (*Cache)(nil)
-	_ DocUpdater       = (*Cache)(nil)
+	_ Store             = (*Cache)(nil)
+	_ BlockRangeReader  = (*Cache)(nil)
+	_ DocUpdater        = (*Cache)(nil)
+	_ PinnedBlockReader = (*Cache)(nil)
 )

@@ -53,27 +53,36 @@ func (c *Client) BytesWritten() int64 { return c.bytesWritten.Load() }
 
 // roundTrip sends a request and decodes the status byte.
 func (c *Client) roundTrip(req []byte) ([]byte, error) {
+	body, _, err := c.roundTripInto(req, nil)
+	return body, err
+}
+
+// roundTripInto is roundTrip with a caller-supplied receive buffer: the
+// response lands in buf when it fits (the pooled-frame read path). It
+// returns the response body — aliasing the returned frame buffer — and
+// the frame buffer itself so the caller can park it for reuse.
+func (c *Client) roundTripInto(req, buf []byte) (body, frameBuf []byte, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeFrame(c.conn, req); err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	c.bytesWritten.Add(int64(len(req)))
-	resp, err := readFrame(c.conn)
+	resp, err := readFrameInto(c.conn, buf[:0:cap(buf)])
 	if err != nil {
-		return nil, err
+		return nil, buf, err
 	}
 	if len(resp) == 0 {
-		return nil, fmt.Errorf("dsp: empty response")
+		return nil, resp, fmt.Errorf("dsp: empty response")
 	}
 	c.bytesRead.Add(int64(len(resp)))
 	switch resp[0] {
 	case statusOK:
-		return resp[1:], nil
+		return resp[1:], resp, nil
 	case statusErr:
-		return nil, ServerError(resp[1:])
+		return nil, resp, ServerError(resp[1:])
 	default:
-		return nil, fmt.Errorf("dsp: bad response status %d", resp[0])
+		return nil, resp, fmt.Errorf("dsp: bad response status %d", resp[0])
 	}
 }
 
@@ -108,15 +117,28 @@ func (c *Client) ReadBlock(docID string, idx int) ([]byte, error) {
 // skip-index run instead of count request/response exchanges.
 func (c *Client) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 	if start < 0 || count < 0 {
-		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
+		return nil, errNegativeRange(start, count)
 	}
-	req := appendString([]byte{opReadBlocks}, docID)
-	req = binary.AppendUvarint(req, uint64(start))
-	req = binary.AppendUvarint(req, uint64(count))
-	resp, err := c.roundTrip(req)
+	resp, err := c.roundTrip(readBlocksReq(docID, start, count))
 	if err != nil {
 		return nil, err
 	}
+	// The frame buffer was allocated for this response alone, so the
+	// blocks can alias it instead of being copied out one by one. (The
+	// pooled variant, ReadBlocksFrame, reuses buffers instead.)
+	return parseBlockRun(resp, count, nil)
+}
+
+// readBlocksReq builds the opReadBlocks request frame.
+func readBlocksReq(docID string, start, count int) []byte {
+	req := appendString([]byte{opReadBlocks}, docID)
+	req = binary.AppendUvarint(req, uint64(start))
+	return binary.AppendUvarint(req, uint64(count))
+}
+
+// parseBlockRun decodes an opReadBlocks response body into dst. The
+// returned slices alias resp.
+func parseBlockRun(resp []byte, count int, dst [][]byte) ([][]byte, error) {
 	r := &wireReader{data: resp}
 	n := r.uvarint()
 	if r.err != nil {
@@ -125,17 +147,21 @@ func (c *Client) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 	if n != uint64(count) {
 		return nil, fmt.Errorf("dsp: batched read returned %d blocks, want %d", n, count)
 	}
-	out := make([][]byte, 0, n)
+	if cap(dst) < int(n) {
+		dst = make([][]byte, 0, n)
+	}
 	for i := uint64(0); i < n; i++ {
 		b := r.bytes()
 		if r.err != nil {
 			return nil, r.err
 		}
-		// The frame buffer was allocated for this response alone, so the
-		// blocks can alias it instead of being copied out one by one.
-		out = append(out, b)
+		dst = append(dst, b)
 	}
-	return out, nil
+	return dst, nil
+}
+
+func errNegativeRange(start, count int) error {
+	return fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
 }
 
 // BeginUpdate implements DocUpdater against a remote server.

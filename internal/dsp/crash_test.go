@@ -57,7 +57,10 @@ func TestFileStoreCrashWriter(t *testing.T) {
 	if dir == "" {
 		t.Skip("crash-writer helper; run via TestFileStoreCrashRecovery")
 	}
-	s, err := NewFileStoreOptions(dir, FileStoreOptions{})
+	// A tiny WAL budget makes the background checkpointer churn
+	// constantly, so the kill also lands amid image rewrites, footer
+	// writes and mmap region swaps — not just mid-append.
+	s, err := NewFileStoreOptions(dir, FileStoreOptions{CheckpointBytes: 256 << 10})
 	if err != nil {
 		t.Fatal(err)
 	}

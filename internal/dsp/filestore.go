@@ -75,6 +75,11 @@ type FileStoreOptions struct {
 	// RecoveryParallelism caps the workers that load checkpoints and
 	// replay segment logs at open (0 = GOMAXPROCS, 1 = sequential).
 	RecoveryParallelism int
+	// DisableMmap forces the heap read tier even where mapping is
+	// supported: checkpoint images are loaded into memory instead of
+	// mapped, exactly like a nommap build. The on-disk format is the
+	// same either way.
+	DisableMmap bool
 }
 
 // DefaultCheckpointBytes bounds the combined log size (and therefore
@@ -116,6 +121,16 @@ type FileStoreStats struct {
 	// Migrated reports that this open converted a PR 4 single-file
 	// layout (wal.log + checkpoint) into segments.
 	Migrated bool
+	// MappedBytes is the total size of the currently mapped checkpoint
+	// images (0 with mmap disabled or unsupported). MmapReads and
+	// HeapReads count blocks served from the mapped tier vs. heap
+	// memory — together they show how much of the corpus the store
+	// serves without holding it resident.
+	MappedBytes          int64
+	MmapReads, HeapReads int64
+	// FooterMigrations counts segments whose footerless (pre-index)
+	// checkpoint image this open rewrote with a block-index footer.
+	FooterMigrations int64
 }
 
 // segment is one on-disk partition: a WAL with its own append mutex and
@@ -130,6 +145,17 @@ type segment struct {
 	ckptMu sync.Mutex
 	// ckptQueued gates one outstanding background request per segment.
 	ckptQueued atomic.Bool
+
+	// region is the segment's current checkpoint mapping (nil when the
+	// heap tier serves everything). Written under the owning shard's
+	// write lock (installMapping) and read under its read lock — the
+	// same discipline as the shard's documents, whose blocks may point
+	// into it.
+	region *mmapRegion
+	// needFooter marks a segment whose recovered checkpoint image
+	// predates the index footer; the open rewrites it once. Written
+	// single-threaded during recovery.
+	needFooter bool
 }
 
 // FileStore implements Store, BlockRangeReader and DocUpdater on disk.
@@ -150,6 +176,18 @@ type FileStore struct {
 
 	checkpoints atomic.Int64
 	lastCkpt    atomic.Int64 // nanoseconds of the most recent checkpoint
+
+	// mmapOn selects the tiered read path: checkpoint-resident blocks
+	// served as views into mapped images, everything newer from heap.
+	// Fixed at open (platform support ∧ !DisableMmap).
+	mmapOn bool
+	// mappedBytes tracks the combined size of the segments' current
+	// regions; mmapReads / heapReads count blocks served per tier.
+	mappedBytes atomic.Int64
+	mmapReads   atomic.Int64
+	heapReads   atomic.Int64
+	// footerMigrations is set during open (before the store is visible).
+	footerMigrations int64
 
 	// broken latches the first append/checkpoint failure: once a log
 	// can no longer record history, acknowledging further mutations
@@ -194,9 +232,24 @@ func segCkptName(i int) string { return fmt.Sprintf("checkpoint-%03d", i) }
 func (s *FileStore) segWalPath(i int) string  { return filepath.Join(s.dir, segWalName(i)) }
 func (s *FileStore) segCkptPath(i int) string { return filepath.Join(s.dir, segCkptName(i)) }
 
-// checkpoint image magic ("SDSC" + format version) — unchanged from the
-// single-file layout, each segment image is simply a smaller store.
-var ckptMagic = []byte{'S', 'D', 'S', 'C', 1}
+// checkpoint image magic ("SDSC" + format version). Version 2 appends a
+// block-index footer (see ckptindex.go) after the v1 body; the body
+// layout itself is unchanged from the single-file era, each segment
+// image is simply a smaller store. Readers accept both versions — a v1
+// (footerless) image is heap-loaded and rewritten with a footer once.
+var (
+	ckptMagic   = []byte{'S', 'D', 'S', 'C', 2}
+	ckptMagicV1 = []byte{'S', 'D', 'S', 'C', 1}
+)
+
+// ckptMagicOK accepts the current and the legacy image version.
+func ckptMagicOK(data []byte) bool {
+	if len(data) < len(ckptMagic) {
+		return false
+	}
+	head := string(data[:len(ckptMagic)])
+	return head == string(ckptMagic) || head == string(ckptMagicV1)
+}
 
 // NewFileStore opens (or creates) a durable store in dir with default
 // options.
@@ -226,19 +279,40 @@ func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) 
 		return nil, err
 	}
 	s := &FileStore{dir: dir, opts: opts, lock: lock}
+	s.mmapOn = mmapSupported && !opts.DisableMmap
 	start := time.Now()
 	if err := s.openDir(); err != nil {
-		// Release whatever a partial open acquired — the lock and any
-		// segment logs already opened before the failure — so a caller
-		// retrying the open (say, after repairing a corrupt checkpoint)
-		// does not accumulate file descriptors.
+		// Release whatever a partial open acquired — the lock, any
+		// segment logs already opened before the failure, and any
+		// checkpoint mappings — so a caller retrying the open (say,
+		// after repairing a corrupt checkpoint) does not accumulate
+		// file descriptors or mappings.
 		for _, seg := range s.segs {
 			if seg.wal != nil {
 				_ = seg.wal.close()
 			}
+			if seg.region != nil {
+				seg.region.release()
+			}
 		}
 		_ = lock.release()
 		return nil, err
+	}
+	// One-shot footer migration: a recovered segment whose image
+	// predates the block index is re-checkpointed now (the image is
+	// rewritten from the just-recovered state, with a footer, and its
+	// mapping installed), so from here on every image on disk is
+	// footered and mmap-served. Counted into the recovery time like the
+	// layout migration.
+	for _, seg := range s.segs {
+		if seg.needFooter && s.mmapOn {
+			if err := s.checkpointSegmentMode(seg, true); err != nil {
+				_ = s.Close()
+				return nil, fmt.Errorf("dsp: rewriting footerless checkpoint of segment %d: %w", seg.idx, err)
+			}
+			seg.needFooter = false
+			s.footerMigrations++
+		}
 	}
 	s.recovery = time.Since(start)
 	s.gc = newGroupCommitter()
@@ -432,9 +506,29 @@ func (s *FileStore) recoverSegments() error {
 // replay, then eviction of staged updates whose commit never made the
 // log (their tokens died with the old process — nobody can ever commit
 // them; replay needed them only to serve commits later in the log).
+//
+// With the mmap tier on, a footered image is mapped and its documents
+// installed as views into the mapping — recovery reads the index
+// footer, not the full image, and the blocks never become heap
+// resident. A footerless (or unparsable-footer) image falls back to
+// the heap loader and is marked for a one-shot footer rewrite.
 func (s *FileStore) recoverSegment(i int, rec *segRecovery) error {
-	if err := s.loadCheckpointFile(s.segCkptPath(i)); err != nil {
-		return err
+	path := s.segCkptPath(i)
+	mapped := false
+	if s.mmapOn {
+		var err error
+		mapped, err = s.loadCheckpointMapped(s.segs[i])
+		if err != nil {
+			return err
+		}
+	}
+	if !mapped {
+		if err := s.loadCheckpointFile(path); err != nil {
+			return err
+		}
+		if s.mmapOn && fileExists(path) {
+			s.segs[i].needFooter = true
+		}
 	}
 	tokens := make(map[uint64]uint64) // logged token → live token
 	size, torn, err := replayWal(s.segWalPath(i), func(body []byte) error {
@@ -514,6 +608,10 @@ func (s *FileStore) migrateLegacy() error {
 			return err
 		}
 		seg.wal = w
+		// The freshly written images already carry index footers; serve
+		// them mapped from the start (single-threaded here, so the
+		// wal.mu discipline installMapping normally relies on is moot).
+		s.installMapping(seg)
 	}
 	s.migrated = true
 	return nil
@@ -541,23 +639,36 @@ func (s *FileStore) Stats() FileStoreStats {
 		LastCheckpointDuration: time.Duration(s.lastCkpt.Load()),
 		Migrated:               s.migrated,
 	}
+	st.MappedBytes = s.mappedBytes.Load()
+	st.MmapReads = s.mmapReads.Load()
+	st.HeapReads = s.heapReads.Load()
+	st.FooterMigrations = s.footerMigrations
 	if s.gc != nil {
-		st.SyncWaits = s.gc.waits.Load()
-		st.SyncRounds = s.gc.rounds.Load()
+		// One consistent pair: both counters mutate under gc.mu, so a
+		// snapshot there can never observe a round without its waiters
+		// (SyncWaits >= SyncRounds always holds for callers).
+		st.SyncWaits, st.SyncRounds = s.gc.statsSnapshot()
 	}
 	for _, seg := range s.segs {
-		st.Records += seg.wal.records.Load()
-		st.AppendedBytes += seg.wal.bytesAppended.Load()
-		st.Syncs += seg.wal.syncs.Load()
-		st.WALBytes += seg.wal.size()
+		// Per-segment counters land in one lock pass per writer, not as
+		// independent atomic reads — Records, AppendedBytes and WALBytes
+		// of one segment are a point-in-time triple, never torn around an
+		// in-flight append.
+		rec, app, syn, size := seg.wal.statsSnapshot()
+		st.Records += rec
+		st.AppendedBytes += app
+		st.Syncs += syn
+		st.WALBytes += size
 	}
 	return st
 }
 
 // Close stops the background checkpointer, makes every segment log
-// durable and releases the files and the directory lock. It does not
-// checkpoint: reopening replays the logs. Long-lived servers call
-// Checkpoint before Close for an instant next start.
+// durable and releases the files, the checkpoint mappings and the
+// directory lock. It does not checkpoint: reopening replays the logs.
+// Long-lived servers call Checkpoint before Close for an instant next
+// start. The store must not be used after Close — with the mmap tier
+// on, checkpoint-resident blocks unmap once in-flight pins drain.
 func (s *FileStore) Close() error {
 	s.stopCheckpointWorker()
 	if s.gc != nil {
@@ -565,14 +676,24 @@ func (s *FileStore) Close() error {
 	}
 	var first error
 	for _, seg := range s.segs {
-		if seg.wal == nil {
-			continue
+		if seg.wal != nil {
+			if err := seg.wal.syncTo(seg.wal.size()); err != nil && first == nil {
+				first = err
+			}
+			if err := seg.wal.close(); err != nil && first == nil {
+				first = err
+			}
 		}
-		if err := seg.wal.syncTo(seg.wal.size()); err != nil && first == nil {
-			first = err
-		}
-		if err := seg.wal.close(); err != nil && first == nil {
-			first = err
+		// Retire the segment's mapping: the owner reference drops here,
+		// and the munmap runs once any still-pinned responses release.
+		sh := &s.mem.shards[seg.idx]
+		sh.mu.Lock()
+		region := seg.region
+		seg.region = nil
+		sh.mu.Unlock()
+		if region != nil {
+			s.mappedBytes.Add(-int64(len(region.data)))
+			region.release()
 		}
 	}
 	if err := s.lock.release(); err != nil && first == nil {
@@ -685,14 +806,123 @@ func (s *FileStore) PutRuleSet(docID, subject string, version uint32, sealed []b
 // Header implements Store from memory.
 func (s *FileStore) Header(docID string) (docenc.Header, error) { return s.mem.Header(docID) }
 
-// ReadBlock implements Store from memory.
-func (s *FileStore) ReadBlock(docID string, idx int) ([]byte, error) {
-	return s.mem.ReadBlock(docID, idx)
+// lookupLocked resolves a document and its segment under the shard read
+// lock — the tiered read paths share it. The caller must RUnlock sh.
+func (s *FileStore) lookupLocked(docID string) (*segment, *memShard, *docenc.Container, error) {
+	seg := s.seg(docID)
+	sh := &s.mem.shards[seg.idx] // same hash and modulus as mem.shard
+	sh.mu.RLock()
+	c, ok := sh.docs[docID]
+	if !ok {
+		sh.mu.RUnlock()
+		return nil, nil, nil, fmt.Errorf("%w: %q", ErrUnknownDocument, docID)
+	}
+	return seg, sh, c, nil
 }
 
-// ReadBlocks implements BlockRangeReader from memory.
+// ReadBlock implements Store. The Store contract hands out blocks that
+// stay valid indefinitely, so a checkpoint-resident block is copied out
+// of the mapping while the shard lock still pins the region; the
+// zero-copy path is ReadBlocksPinned.
+func (s *FileStore) ReadBlock(docID string, idx int) ([]byte, error) {
+	if !s.mmapOn {
+		b, err := s.mem.ReadBlock(docID, idx)
+		if err == nil {
+			s.heapReads.Add(1)
+		}
+		return b, err
+	}
+	seg, sh, c, err := s.lookupLocked(docID)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.mu.RUnlock()
+	if idx < 0 || idx >= len(c.Blocks) {
+		return nil, fmt.Errorf("dsp: block %d out of range [0,%d) for %q", idx, len(c.Blocks), docID)
+	}
+	b := c.Blocks[idx]
+	if seg.region.contains(b) {
+		s.mmapReads.Add(1)
+		return append(make([]byte, 0, len(b)), b...), nil
+	}
+	s.heapReads.Add(1)
+	return b, nil
+}
+
+// ReadBlocks implements BlockRangeReader. Like ReadBlock, mapped blocks
+// are copied to heap under the shard lock so the returned slices obey
+// the Store contract; WAL-resident (heap) blocks are referenced as
+// always.
 func (s *FileStore) ReadBlocks(docID string, start, count int) ([][]byte, error) {
-	return s.mem.ReadBlocks(docID, start, count)
+	if !s.mmapOn {
+		out, err := s.mem.ReadBlocks(docID, start, count)
+		if err == nil {
+			s.heapReads.Add(int64(count))
+		}
+		return out, err
+	}
+	seg, sh, c, err := s.lookupLocked(docID)
+	if err != nil {
+		return nil, err
+	}
+	defer sh.mu.RUnlock()
+	// Bounds are checked without computing start+count, which a hostile
+	// wire request can overflow.
+	if start < 0 || count < 0 || start > len(c.Blocks) || count > len(c.Blocks)-start {
+		return nil, fmt.Errorf("dsp: block range [%d,+%d) out of range [0,%d) for %q",
+			start, count, len(c.Blocks), docID)
+	}
+	reg := seg.region
+	out := make([][]byte, count)
+	var heap int64
+	for i := 0; i < count; i++ {
+		b := c.Blocks[start+i]
+		if reg.contains(b) {
+			out[i] = append(make([]byte, 0, len(b)), b...)
+		} else {
+			out[i] = b
+			heap++
+		}
+	}
+	s.mmapReads.Add(int64(count) - heap)
+	s.heapReads.Add(heap)
+	return out, nil
+}
+
+// ReadBlocksPinned implements PinnedBlockReader: checkpoint-resident
+// blocks are returned as views straight into the segment's mapped image
+// — no heap copy anywhere between the disk page cache and the caller —
+// kept valid by a single pin per call appended to *pins. The pin is
+// acquired under the shard read lock, which installMapping's swap (the
+// only path that retires a region) excludes, so a view can never
+// outlive its mapping unpinned.
+func (s *FileStore) ReadBlocksPinned(docID string, start, count int, pins *[]BlockPin) ([][]byte, bool, error) {
+	seg, sh, c, err := s.lookupLocked(docID)
+	if err != nil {
+		return nil, false, err
+	}
+	defer sh.mu.RUnlock()
+	if start < 0 || count < 0 || start > len(c.Blocks) || count > len(c.Blocks)-start {
+		return nil, false, fmt.Errorf("dsp: block range [%d,+%d) out of range [0,%d) for %q",
+			start, count, len(c.Blocks), docID)
+	}
+	out := make([][]byte, count)
+	copy(out, c.Blocks[start:start+count])
+	var mapped int64
+	if reg := seg.region; reg != nil {
+		for _, b := range out {
+			if reg.contains(b) {
+				mapped++
+			}
+		}
+		if mapped > 0 {
+			reg.acquire()
+			*pins = append(*pins, BlockPin{r: reg})
+		}
+	}
+	s.mmapReads.Add(mapped)
+	s.heapReads.Add(int64(count) - mapped)
+	return out, mapped > 0, nil
 }
 
 // RuleSet implements Store from memory.
@@ -1000,6 +1230,14 @@ func (s *FileStore) Checkpoint() error {
 // to this segment block for the duration; reads and the other segments
 // never notice.
 func (s *FileStore) checkpointSegment(seg *segment) error {
+	return s.checkpointSegmentMode(seg, false)
+}
+
+// checkpointSegmentMode is checkpointSegment with the empty-log skip
+// explicit: the open-time footer migration forces an image rewrite even
+// when the log is empty (the image content is unchanged — only the
+// footer is new).
+func (s *FileStore) checkpointSegmentMode(seg *segment, force bool) error {
 	seg.ckptMu.Lock()
 	defer seg.ckptMu.Unlock()
 	if err := s.failed(); err != nil {
@@ -1015,7 +1253,7 @@ func (s *FileStore) checkpointSegment(seg *segment) error {
 	// behind): rewriting the image would only burn fsyncs. This is what
 	// keeps an explicit all-segment Checkpoint — every sdsctl exit,
 	// every dspd shutdown — proportional to churn, not to shard count.
-	if seg.wal.appended == 0 {
+	if seg.wal.appended == 0 && !force {
 		return nil
 	}
 	start := time.Now()
@@ -1033,6 +1271,10 @@ func (s *FileStore) checkpointSegment(seg *segment) error {
 	if err := s.relogStaged(seg); err != nil {
 		return s.fail(err)
 	}
+	// Tier swap: serve the just-published image via mmap and let the
+	// heap copies (the segment's former working set) go to the GC. Still
+	// under wal.mu, so the shard state equals the image exactly.
+	s.installMapping(seg)
 	s.checkpoints.Add(1)
 	s.lastCkpt.Store(int64(time.Since(start)))
 	return nil
@@ -1060,17 +1302,22 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 		return err
 	}
 	bw := bufio.NewWriterSize(tmp, 256<<10)
+	cw := &countingWriter{w: bw}
 	var scratch [binary.MaxVarintLen64]byte
 	writeUvarint := func(v uint64) error {
 		n := binary.PutUvarint(scratch[:], v)
-		_, err := bw.Write(scratch[:n])
+		_, err := cw.Write(scratch[:n])
 		return err
 	}
 
+	// The index entries collected while streaming the body; serialized
+	// as the footer once the body (and its rules offset) is known.
+	var entries []ckptDocEntry
+	var rulesOff int64
 	sh := &s.mem.shards[idx]
 	sh.mu.RLock()
 	err = func() error {
-		if _, err := bw.Write(ckptMagic); err != nil {
+		if _, err := cw.Write(ckptMagic); err != nil {
 			return err
 		}
 		if err := writeUvarint(uint64(len(sh.docs))); err != nil {
@@ -1091,15 +1338,25 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 			if err := writeUvarint(uint64(total)); err != nil {
 				return err
 			}
-			if _, err := bw.Write(hdr); err != nil {
+			e := ckptDocEntry{
+				docID:   c.Header.DocID,
+				version: c.Header.Version,
+				hdrOff:  cw.n,
+				hdrLen:  int64(len(hdr)),
+				blocks:  make([]ckptBlockRef, 0, len(c.Blocks)),
+			}
+			if _, err := cw.Write(hdr); err != nil {
 				return err
 			}
 			for _, b := range c.Blocks {
-				if _, err := bw.Write(b); err != nil {
+				e.blocks = append(e.blocks, ckptBlockRef{off: cw.n, len: int64(len(b))})
+				if _, err := cw.Write(b); err != nil {
 					return err
 				}
 			}
+			entries = append(entries, e)
 		}
+		rulesOff = cw.n
 		if err := writeUvarint(uint64(len(sh.rules))); err != nil {
 			return err
 		}
@@ -1107,7 +1364,7 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 			if err := writeUvarint(uint64(len(k))); err != nil {
 				return err
 			}
-			if _, err := bw.WriteString(k); err != nil {
+			if _, err := cw.WriteString(k); err != nil {
 				return err
 			}
 			if err := writeUvarint(uint64(e.version)); err != nil {
@@ -1116,11 +1373,15 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 			if err := writeUvarint(uint64(len(e.sealed))); err != nil {
 				return err
 			}
-			if _, err := bw.Write(e.sealed); err != nil {
+			if _, err := cw.Write(e.sealed); err != nil {
 				return err
 			}
 		}
-		return nil
+		// The block-index footer: offsets into the body just written,
+		// CRC'd, terminated by its own magic. Readers that predate it
+		// (and the heap fallback) parse the body and never look here.
+		_, err := cw.Write(appendCkptIndex(nil, entries, rulesOff))
+		return err
 	}()
 	sh.mu.RUnlock()
 	if err != nil {
@@ -1154,6 +1415,26 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 		}
 	}
 	return nil
+}
+
+// countingWriter tracks the logical file offset of everything streamed
+// through it — the offsets the checkpoint writer records in the index
+// footer.
+type countingWriter struct {
+	w *bufio.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+func (c *countingWriter) WriteString(s string) (int, error) {
+	n, err := c.w.WriteString(s)
+	c.n += int64(n)
+	return n, err
 }
 
 // relogStaged writes the begin/put-blocks records of this segment's
@@ -1225,9 +1506,12 @@ func (s *FileStore) loadCheckpointFile(path string) error {
 	if err != nil {
 		return err
 	}
-	if len(data) < len(ckptMagic) || string(data[:len(ckptMagic)]) != string(ckptMagic) {
+	if !ckptMagicOK(data) {
 		return fmt.Errorf("dsp: %s: bad checkpoint magic", path)
 	}
+	// A v2 image carries an index footer after the body; the body parse
+	// below reads exactly nDocs + nRules entries and leaves the trailing
+	// index untouched, so the heap loader reads both versions alike.
 	r := &wireReader{data: data, pos: len(ckptMagic)}
 	nDocs := r.uvarint()
 	for i := uint64(0); i < nDocs; i++ {
@@ -1265,6 +1549,163 @@ func (s *FileStore) loadCheckpointFile(path string) error {
 	return nil
 }
 
+// containerFromEntry builds a document container whose blocks are views
+// into the mapped image, cross-validating the index entry against the
+// header bytes it points at. The header itself is fully copied out of
+// the mapping by UnmarshalHeader (strings, MAC, generation runs), so a
+// retired region is pinned only by block views, never by metadata.
+func containerFromEntry(region *mmapRegion, e *ckptDocEntry) (*docenc.Container, error) {
+	h, n, err := docenc.UnmarshalHeader(region.data[e.hdrOff : e.hdrOff+e.hdrLen])
+	if err != nil {
+		return nil, err
+	}
+	if int64(n) != e.hdrLen || h.DocID != e.docID || h.Version != e.version {
+		return nil, fmt.Errorf("dsp: checkpoint index entry for %q disagrees with image header", e.docID)
+	}
+	if h.NumBlocks() != len(e.blocks) {
+		return nil, fmt.Errorf("dsp: checkpoint index for %q lists %d blocks, geometry has %d",
+			e.docID, len(e.blocks), h.NumBlocks())
+	}
+	blocks := make([][]byte, len(e.blocks))
+	for i, br := range e.blocks {
+		if int(br.len) != h.BlockStoredLen(i) {
+			return nil, fmt.Errorf("dsp: checkpoint index for %q block %d: length %d, geometry says %d",
+				e.docID, i, br.len, h.BlockStoredLen(i))
+		}
+		blocks[i] = region.data[br.off : br.off+br.len : br.off+br.len]
+	}
+	return &docenc.Container{Header: h, Blocks: blocks}, nil
+}
+
+// loadCheckpointMapped maps one segment's checkpoint image and installs
+// its documents as views into the mapping, driven by the index footer —
+// no full-image read, no heap copies of block payloads. It reports
+// false (and no error) whenever the mapping path cannot serve this
+// image — file absent, footerless v1 image, unparsable footer, platform
+// without mmap — and the caller falls back to the heap loader. Runs
+// single-threaded per segment during recovery, before the store is
+// visible to any reader.
+func (s *FileStore) loadCheckpointMapped(seg *segment) (bool, error) {
+	region, err := mapFile(s.segCkptPath(seg.idx))
+	switch {
+	case os.IsNotExist(err):
+		return false, nil // fresh segment
+	case errors.Is(err, errMmapUnsupported), errors.Is(err, errMmapEmpty):
+		return false, nil // heap loader decides (and reports the empty file)
+	case err != nil:
+		return false, err
+	}
+	data := region.data
+	if !ckptMagicOK(data) {
+		region.release()
+		return false, fmt.Errorf("dsp: %s: bad checkpoint magic", s.segCkptPath(seg.idx))
+	}
+	idx, err := parseCkptIndex(data)
+	if err != nil {
+		// No footer (v1 image) or a corrupt one: the body is the source
+		// of truth — heap-load it and rewrite the image with a footer.
+		region.release()
+		return false, nil
+	}
+	containers := make([]*docenc.Container, 0, len(idx.docs))
+	for i := range idx.docs {
+		c, err := containerFromEntry(region, &idx.docs[i])
+		if err != nil {
+			region.release()
+			return false, nil // fall back to the body
+		}
+		containers = append(containers, c)
+	}
+	// Validation done — install. PutDocument re-checks geometry and
+	// copies nothing; the containers' blocks stay views into the region.
+	for _, c := range containers {
+		if err := s.mem.PutDocument(c); err != nil {
+			region.release()
+			return false, fmt.Errorf("dsp: mapped checkpoint document %q: %w", c.Header.DocID, err)
+		}
+	}
+	r := &wireReader{data: data[:idx.bodyEnd], pos: int(idx.rulesOff)}
+	nRules := r.uvarint()
+	for i := uint64(0); i < nRules; i++ {
+		key := r.string()
+		version := r.uvarint()
+		sealed := r.bytes()
+		if r.err != nil {
+			break
+		}
+		docID, subject, ok := splitRuleKey(key)
+		if !ok {
+			region.release()
+			return false, fmt.Errorf("dsp: mapped checkpoint rule %d: malformed key", i)
+		}
+		// PutRuleSet copies the sealed bytes, so rules never pin the region.
+		if err := s.mem.PutRuleSet(docID, subject, uint32(version), sealed); err != nil {
+			region.release()
+			return false, fmt.Errorf("dsp: mapped checkpoint rule %d: %w", i, err)
+		}
+	}
+	if r.err != nil {
+		region.release()
+		return false, fmt.Errorf("dsp: truncated mapped checkpoint %s: %w", s.segCkptPath(seg.idx), r.err)
+	}
+	seg.region = region
+	s.mappedBytes.Add(int64(len(data)))
+	return true, nil
+}
+
+// installMapping maps the image checkpointSegment just published and
+// swaps the shard's checkpoint-covered documents over to views into it
+// — this is the eviction that keeps the MemStore working set bounded:
+// the heap copies those documents held (their WAL-resident deltas
+// included, now absorbed by the image) become garbage the moment the
+// swap commits. The caller holds seg.wal.mu, so the shard cannot gain
+// new committed state between the image write and the swap; the swap
+// itself runs under the shard write lock, after which the old region is
+// retired (its munmap deferred until in-flight pinned readers drain).
+func (s *FileStore) installMapping(seg *segment) {
+	if !s.mmapOn {
+		return
+	}
+	region, err := mapFile(s.segCkptPath(seg.idx))
+	if err != nil {
+		return // heap keeps serving; the next checkpoint retries
+	}
+	idx, err := parseCkptIndex(region.data)
+	if err != nil {
+		region.release()
+		return
+	}
+	fresh := make([]*docenc.Container, 0, len(idx.docs))
+	for i := range idx.docs {
+		c, err := containerFromEntry(region, &idx.docs[i])
+		if err != nil {
+			region.release()
+			return
+		}
+		fresh = append(fresh, c)
+	}
+	sh := &s.mem.shards[seg.idx]
+	sh.mu.Lock()
+	for _, c := range fresh {
+		cur, ok := sh.docs[c.Header.DocID]
+		if !ok || cur.Header.Version != c.Header.Version || len(cur.Blocks) != len(c.Blocks) {
+			continue // superseded while unlocked (cannot happen under wal.mu; guard anyway)
+		}
+		// Install a fresh container rather than mutating in place:
+		// Snapshot holders keep the container they read, with whatever
+		// blocks it had.
+		sh.docs[c.Header.DocID] = c
+	}
+	old := seg.region
+	seg.region = region
+	sh.mu.Unlock()
+	s.mappedBytes.Add(int64(len(region.data)))
+	if old != nil {
+		s.mappedBytes.Add(-int64(len(old.data)))
+		old.release()
+	}
+}
+
 func splitRuleKey(key string) (docID, subject string, ok bool) {
 	for i := 0; i < len(key); i++ {
 		if key[i] == 0 {
@@ -1295,7 +1736,8 @@ func syncDir(dir string) error {
 }
 
 var (
-	_ Store            = (*FileStore)(nil)
-	_ BlockRangeReader = (*FileStore)(nil)
-	_ DocUpdater       = (*FileStore)(nil)
+	_ Store             = (*FileStore)(nil)
+	_ BlockRangeReader  = (*FileStore)(nil)
+	_ DocUpdater        = (*FileStore)(nil)
+	_ PinnedBlockReader = (*FileStore)(nil)
 )

@@ -1,0 +1,75 @@
+package dsp
+
+// Pooled client-side frames for the batched read path. Client.ReadBlocks
+// allocates one frame buffer per response and lets the returned blocks
+// alias it — safe, but a terminal scanning a long document allocates a
+// fresh frame for every run. ReadBlocksFrame instead parks response
+// buffers in a pool: the caller reads the blocks (views into the pooled
+// buffer), copies out anything it needs to keep, and releases the frame
+// for the next round trip to reuse.
+
+import "sync"
+
+// maxPooledFrameBuf bounds the buffer capacity a released frame may
+// retain — one huge response must not pin megabytes in the pool forever.
+const maxPooledFrameBuf = 1 << 20
+
+// BlockFrame is one batched-read response backed by a pooled buffer.
+// The slices returned by Blocks alias that buffer and are valid only
+// until Release; data that must outlive the frame goes through CopyOut
+// (or an explicit append-copy) first.
+type BlockFrame struct {
+	buf    []byte
+	blocks [][]byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(BlockFrame) }}
+
+// Blocks returns the decoded block views, in request order. The views
+// alias the frame's buffer: reading them after Release is a bug (the
+// buffer may already carry the next response).
+func (f *BlockFrame) Blocks() [][]byte { return f.blocks }
+
+// CopyOut returns a copy of block i that survives Release.
+func (f *BlockFrame) CopyOut(i int) []byte {
+	b := f.blocks[i]
+	return append(make([]byte, 0, len(b)), b...)
+}
+
+// Release returns the frame to the pool. The frame and every view
+// obtained from Blocks must not be used afterwards.
+func (f *BlockFrame) Release() {
+	for i := range f.blocks {
+		f.blocks[i] = nil
+	}
+	f.blocks = f.blocks[:0]
+	if cap(f.buf) > maxPooledFrameBuf {
+		f.buf = nil
+	}
+	framePool.Put(f)
+}
+
+// ReadBlocksFrame is ReadBlocks without the per-call frame allocation:
+// the response lands in a pooled buffer and the blocks are views into
+// it. The caller must Release the frame when done with the views.
+func (c *Client) ReadBlocksFrame(docID string, start, count int) (*BlockFrame, error) {
+	if start < 0 || count < 0 {
+		return nil, errNegativeRange(start, count)
+	}
+	f := framePool.Get().(*BlockFrame)
+	body, fbuf, err := c.roundTripInto(readBlocksReq(docID, start, count), f.buf)
+	// Keep whatever buffer the transport ended up with (it regrows when a
+	// response outsizes the pooled one) so the next round trip reuses it.
+	f.buf = fbuf
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	blocks, err := parseBlockRun(body, count, f.blocks[:0])
+	if err != nil {
+		f.Release()
+		return nil, err
+	}
+	f.blocks = blocks
+	return f, nil
+}

@@ -38,7 +38,12 @@ type groupCommitter struct {
 	done chan struct{}
 
 	// waits counts commits served through rounds; rounds counts rounds
-	// executed. waits/rounds is the achieved batching factor.
+	// executed. waits/rounds is the achieved batching factor. Both
+	// mutate only under mu — a waiter is counted in the same critical
+	// section that registers it, and a round is counted when drain pops
+	// it — so statsSnapshot can read a consistent pair in which
+	// waits >= rounds always holds (every popped round had at least one
+	// registered-and-counted waiter).
 	waits  atomic.Int64
 	rounds atomic.Int64
 
@@ -78,8 +83,8 @@ func (gc *groupCommitter) wait(w *walWriter, off int64) error {
 	if off > r.offs[w] {
 		r.offs[w] = off
 	}
-	gc.mu.Unlock()
 	gc.waits.Add(1)
+	gc.mu.Unlock()
 	select {
 	case gc.wake <- struct{}{}:
 	default:
@@ -111,6 +116,9 @@ func (gc *groupCommitter) drain() {
 		gc.mu.Lock()
 		r := gc.next
 		gc.next = nil
+		if r != nil {
+			gc.rounds.Add(1)
+		}
 		gc.mu.Unlock()
 		if r == nil {
 			return
@@ -123,7 +131,6 @@ func (gc *groupCommitter) drain() {
 // in parallel since the segments are separate files — and releases the
 // waiters with their writer's outcome.
 func (gc *groupCommitter) runRound(r *syncRound) {
-	gc.rounds.Add(1)
 	if gc.testRoundGate != nil {
 		gc.testRoundGate()
 	}
@@ -149,6 +156,14 @@ func (gc *groupCommitter) runRound(r *syncRound) {
 		r.errs[res.w] = res.err
 	}
 	close(r.done)
+}
+
+// statsSnapshot reads (waits, rounds) as one consistent pair under the
+// mutex both counters mutate under.
+func (gc *groupCommitter) statsSnapshot() (waits, rounds int64) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.waits.Load(), gc.rounds.Load()
 }
 
 // stop shuts the syncer down after a final drain; wait() calls arriving

@@ -1,0 +1,106 @@
+package dsp
+
+// The mmap read tier behind FileStore. Each segment's checkpoint image
+// can be mapped read-only; blocks whose latest version is
+// checkpoint-resident are then served as []byte views straight into the
+// mapping, so a cold batched read travels disk page cache → writev with
+// zero heap copies (the PR 6 vectored response path never copies block
+// payloads, and with the mmap tier it no longer even starts from heap
+// memory).
+//
+// Lifetime is epoch + refcount. A region starts with one reference — the
+// owning segment's — and every pinned reader takes another while the
+// shard read-lock is held (installMapping swaps regions under the shard
+// write-lock, so an acquire always happens before the retire that could
+// unmap). When a checkpoint publishes a new image, the old region is
+// retired: the owner reference drops and the munmap runs when the last
+// in-flight pin releases. A rename-replaced checkpoint file keeps its
+// old inode alive while mapped, so a response mid-writev on the previous
+// epoch reads stable bytes.
+
+import (
+	"errors"
+	"sync/atomic"
+	"unsafe"
+)
+
+var (
+	// errMmapUnsupported: this build (or platform) has no mapping
+	// support; the store serves from heap.
+	errMmapUnsupported = errors.New("dsp: mmap not supported")
+	// errMmapEmpty: a zero-length file cannot be mapped.
+	errMmapEmpty = errors.New("dsp: cannot map empty file")
+)
+
+// mmapRegion is one read-only file mapping with reference-counted
+// lifetime.
+type mmapRegion struct {
+	// data is the full mapping. Views handed out are subslices of it and
+	// must be treated as immutable.
+	data []byte
+	// refs counts the owner (the segment holding this region as current)
+	// plus every in-flight pin. The munmap runs when it reaches zero.
+	refs atomic.Int64
+}
+
+// acquire takes a pin. The caller must hold the lock under which the
+// region is still reachable (the shard read-lock), so the owner
+// reference cannot have dropped yet.
+func (r *mmapRegion) acquire() { r.refs.Add(1) }
+
+// release drops one reference (a pin, or the owner reference when the
+// region is retired) and unmaps once nobody can read the bytes anymore.
+func (r *mmapRegion) release() {
+	if r.refs.Add(-1) == 0 {
+		_ = r.unmap()
+	}
+}
+
+// contains reports whether b points into the mapping — the tiered read
+// path's classifier: a block inside the region is checkpoint-resident
+// and may be pinned or must be copied; anything else is heap memory
+// with ordinary GC lifetime.
+func (r *mmapRegion) contains(b []byte) bool {
+	if r == nil || len(r.data) == 0 || len(b) == 0 {
+		return false
+	}
+	base := uintptr(unsafe.Pointer(&r.data[0]))
+	p := uintptr(unsafe.Pointer(&b[0]))
+	return p >= base && p-base < uintptr(len(r.data))
+}
+
+// BlockPin pins the mapped memory behind zero-copy block views handed
+// out by ReadBlocksPinned. The views stay valid until Release; a pin is
+// cheap (one atomic) and a zero BlockPin releases as a no-op.
+type BlockPin struct{ r *mmapRegion }
+
+// Release drops the pin. After Release the pinned views must not be
+// read — the mapping may be gone.
+func (p BlockPin) Release() {
+	if p.r != nil {
+		p.r.release()
+	}
+}
+
+// PinnedBlockReader is implemented by stores that can serve a block
+// range as zero-copy views into memory they own only temporarily (an
+// mmap'd checkpoint image). The returned blocks stay readable until
+// every pin appended to *pins is released; mapped reports whether any
+// pin was taken (callers that outlive the pins must copy instead).
+// Blocks not backed by such memory are returned as ordinary store-owned
+// slices, exactly like ReadBlocks.
+type PinnedBlockReader interface {
+	ReadBlocksPinned(docID string, start, count int, pins *[]BlockPin) (blocks [][]byte, mapped bool, err error)
+}
+
+// readBlockRangePinned is ReadBlockRange for callers that can hold pins
+// across their use of the blocks (the server's response writer): stores
+// with a pinned path serve mapped views, everything else falls back to
+// the plain range read.
+func readBlockRangePinned(s Store, docID string, start, count int, pins *[]BlockPin) ([][]byte, error) {
+	if pr, ok := s.(PinnedBlockReader); ok {
+		blocks, _, err := pr.ReadBlocksPinned(docID, start, count, pins)
+		return blocks, err
+	}
+	return ReadBlockRange(s, docID, start, count)
+}

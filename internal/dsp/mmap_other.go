@@ -1,0 +1,14 @@
+//go:build !unix || nommap
+
+package dsp
+
+// Portable fallback: no mapping support. FileStore detects this at open
+// and serves everything from the heap-resident MemStore — the
+// checkpoint format (v2 body + index footer) is identical, only the
+// read tier differs, so a store directory moves freely between builds.
+
+const mmapSupported = false
+
+func mapFile(path string) (*mmapRegion, error) { return nil, errMmapUnsupported }
+
+func (r *mmapRegion) unmap() error { return nil }

@@ -1,0 +1,388 @@
+package dsp
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/docenc"
+	"repro/internal/secure"
+)
+
+// mmapTestContainer builds a container with deterministic block contents
+// (doc id, version and block index baked into each block) so tests can
+// verify bytes across checkpoints, remaps and retirements.
+func mmapTestContainer(docID string, version uint32, nBlocks int) *docenc.Container {
+	const plain = 512
+	h := docenc.Header{DocID: docID, Version: version, BlockPlain: plain,
+		PayloadLen: uint64(plain * nBlocks)}
+	c := &docenc.Container{Header: h}
+	for i := 0; i < nBlocks; i++ {
+		b := bytes.Repeat([]byte{byte(i)}, plain+secure.MACLen)
+		copy(b, docID)
+		binary.BigEndian.PutUint32(b[16:], version)
+		binary.BigEndian.PutUint32(b[20:], uint32(i))
+		c.Blocks = append(c.Blocks, b)
+	}
+	return c
+}
+
+// requireMmap skips tests that assert mapped serving on builds/platforms
+// without it (nommap tag, non-unix).
+func requireMmap(t *testing.T) {
+	t.Helper()
+	if !mmapSupported {
+		t.Skip("mmap not supported in this build")
+	}
+}
+
+// TestFileStoreMmapServesCheckpointBlocks: after a checkpoint the
+// segment images are mapped, reads of checkpoint-resident blocks are
+// counted against the mapped tier and return the right bytes, and a
+// reopen recovers straight from the index footers (no heap load, no
+// footer migration).
+func TestFileStoreMmapServesCheckpointBlocks(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{})
+	want := make(map[string]*docenc.Container)
+	for d := 0; d < 6; d++ {
+		c := mmapTestContainer(fmt.Sprintf("mmap-doc-%d", d), 1, 8)
+		want[c.Header.DocID] = c
+		if err := s.PutDocument(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutRuleSet("mmap-doc-0", "alice", 2, []byte("sealed-rules")); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MappedBytes != 0 {
+		t.Fatalf("mapped %d bytes before any checkpoint", st.MappedBytes)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.MappedBytes == 0 {
+		t.Fatal("checkpoint did not install any mapping")
+	}
+	for id, c := range want {
+		got, err := s.ReadBlocks(id, 0, len(c.Blocks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], c.Blocks[i]) {
+				t.Fatalf("%s block %d differs after checkpoint", id, i)
+			}
+		}
+	}
+	after := s.Stats()
+	if after.MmapReads == 0 {
+		t.Fatalf("checkpoint-resident reads not served from the mapped tier: %+v", after)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: recovery must come straight from the footers.
+	r := openFileStore(t, dir, FileStoreOptions{})
+	defer r.Close()
+	rst := r.Stats()
+	if rst.MappedBytes == 0 {
+		t.Fatal("reopen did not map the checkpoint images")
+	}
+	if rst.FooterMigrations != 0 {
+		t.Fatalf("footered images migrated again: %d", rst.FooterMigrations)
+	}
+	for id, c := range want {
+		got, err := r.ReadBlocks(id, 0, len(c.Blocks))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], c.Blocks[i]) {
+				t.Fatalf("%s block %d differs after reopen", id, i)
+			}
+		}
+	}
+	sealed, err := r.RuleSet("mmap-doc-0", "alice")
+	if err != nil || string(sealed) != "sealed-rules" {
+		t.Fatalf("rules lost across mapped recovery: %q, %v", sealed, err)
+	}
+}
+
+// TestFileStorePinnedViewsSurviveRetirement: views pinned before a
+// checkpoint retires their region keep reading the old bytes until the
+// pin releases, and the retired region unmaps exactly when the last pin
+// drops.
+func TestFileStorePinnedViewsSurviveRetirement(t *testing.T) {
+	requireMmap(t)
+	s := openFileStore(t, t.TempDir(), FileStoreOptions{})
+	defer s.Close()
+	v1 := mmapTestContainer("pinned", 1, 4)
+	if err := s.PutDocument(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	var pins []BlockPin
+	views, mapped, err := s.ReadBlocksPinned("pinned", 0, 4, &pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped || len(pins) != 1 {
+		t.Fatalf("checkpoint-resident read not mapped (mapped=%v, %d pins)", mapped, len(pins))
+	}
+	oldRegion := pins[0].r
+	if !oldRegion.contains(views[0]) {
+		t.Fatal("pinned view does not point into the pinned region")
+	}
+
+	// Retire the region under the pin: publish v2 and checkpoint again.
+	if err := s.PutDocument(mmapTestContainer("pinned", 2, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if refs := oldRegion.refs.Load(); refs != 1 {
+		t.Fatalf("retired region holds %d refs under one pin, want 1", refs)
+	}
+	// The pinned views must still read the *old* version's bytes.
+	for i, v := range views {
+		if !bytes.Equal(v, v1.Blocks[i]) {
+			t.Fatalf("pinned view %d changed under a checkpoint retirement", i)
+		}
+	}
+	// Fresh reads serve the new version.
+	got, err := s.ReadBlock("pinned", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(got[16:]) != 2 {
+		t.Fatal("post-retirement read did not serve the new version")
+	}
+	pins[0].Release()
+	if refs := oldRegion.refs.Load(); refs != 0 {
+		t.Fatalf("released region still holds %d refs", refs)
+	}
+	if oldRegion.data != nil {
+		t.Fatal("region not unmapped after the last pin released")
+	}
+}
+
+// TestFileStoreFooterMigration: a store whose checkpoint image predates
+// the index footer (v1 magic, no footer) is heap-loaded, rewritten with
+// a footer once, and served mapped from then on — bytes intact.
+func TestFileStoreFooterMigration(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{Shards: 1})
+	c := mmapTestContainer("legacy-img", 3, 6)
+	if err := s.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutRuleSet("legacy-img", "bob", 1, []byte("old-sealed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the (single) image as a pre-footer v1: strip the index and
+	// tail, stamp the old magic version.
+	path := filepath.Join(dir, segCkptName(0))
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail := img[len(img)-ckptFooterTailLen:]
+	if string(tail[8:]) != string(ckptFooterMagic) {
+		t.Fatal("current writer did not produce a footered image")
+	}
+	idxLen := int64(binary.LittleEndian.Uint32(tail[0:4]))
+	body := img[:int64(len(img))-ckptFooterTailLen-idxLen]
+	legacy := append([]byte(nil), body...)
+	copy(legacy, ckptMagicV1)
+	if err := os.WriteFile(path, legacy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openFileStore(t, dir, FileStoreOptions{})
+	defer r.Close()
+	st := r.Stats()
+	if st.FooterMigrations != 1 {
+		t.Fatalf("FooterMigrations = %d, want 1", st.FooterMigrations)
+	}
+	if st.MappedBytes == 0 {
+		t.Fatal("migrated image not served mapped")
+	}
+	got, err := r.ReadBlocks("legacy-img", 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs after footer migration", i)
+		}
+	}
+	if sealed, err := r.RuleSet("legacy-img", "bob"); err != nil || string(sealed) != "old-sealed" {
+		t.Fatalf("rules lost in footer migration: %q, %v", sealed, err)
+	}
+	// The image on disk is now current-format: footered, v2 magic.
+	img2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(img2[:len(ckptMagic)]) != string(ckptMagic) {
+		t.Fatalf("migrated image magic = %q", img2[:len(ckptMagic)])
+	}
+	if _, err := parseCkptIndex(img2); err != nil {
+		t.Fatalf("migrated image has no parsable footer: %v", err)
+	}
+}
+
+// TestFileStoreDisableMmap: the opt-out serves everything from heap (no
+// mappings, no pins) while writing the identical on-disk format, so a
+// later mmap-enabled open of the same directory maps it.
+func TestFileStoreDisableMmap(t *testing.T) {
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{DisableMmap: true})
+	c := mmapTestContainer("nomap", 1, 5)
+	if err := s.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.MappedBytes != 0 || st.MmapReads != 0 {
+		t.Fatalf("DisableMmap store mapped anyway: %+v", st)
+	}
+	var pins []BlockPin
+	got, mapped, err := s.ReadBlocksPinned("nomap", 0, 5, &pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped || len(pins) != 0 {
+		t.Fatalf("DisableMmap pinned read reported mapped (%d pins)", len(pins))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs with mmap disabled", i)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !mmapSupported {
+		return
+	}
+	r := openFileStore(t, dir, FileStoreOptions{})
+	defer r.Close()
+	if st := r.Stats(); st.MappedBytes == 0 || st.FooterMigrations != 0 {
+		t.Fatalf("image written by a DisableMmap store did not map cleanly: %+v", st)
+	}
+	got2, err := r.ReadBlocks("nomap", 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got2 {
+		if !bytes.Equal(got2[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs across the tier switch", i)
+		}
+	}
+}
+
+// TestFileStoreUnpinnedReadsStableAcrossRemap: the plain Store contract
+// promises indefinitely valid blocks; bytes handed out before a burst of
+// republish+checkpoint cycles must not change underneath the caller.
+func TestFileStoreUnpinnedReadsStableAcrossRemap(t *testing.T) {
+	requireMmap(t)
+	s := openFileStore(t, t.TempDir(), FileStoreOptions{})
+	defer s.Close()
+	v1 := mmapTestContainer("stable", 1, 4)
+	if err := s.PutDocument(v1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	held, err := s.ReadBlocks("stable", 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(2); v < 6; v++ {
+		if err := s.PutDocument(mmapTestContainer("stable", v, 4)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range held {
+		if !bytes.Equal(held[i], v1.Blocks[i]) {
+			t.Fatalf("unpinned block %d mutated across remaps", i)
+		}
+	}
+}
+
+// TestCacheSkipsMappedFills: a pinned range read through the cache
+// serves mapped views without inserting them into the LRU (an entry
+// would outlive the pin), while the copying path still populates it.
+func TestCacheSkipsMappedFills(t *testing.T) {
+	requireMmap(t)
+	s := openFileStore(t, t.TempDir(), FileStoreOptions{})
+	defer s.Close()
+	c := mmapTestContainer("cached", 1, 6)
+	if err := s.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(s, 1<<20)
+	var pins []BlockPin
+	got, mapped, err := cache.ReadBlocksPinned("cached", 0, 6, &pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mapped {
+		t.Fatal("pinned read through the cache lost the mapping")
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs through the cache", i)
+		}
+	}
+	if st := cache.Stats(); st.Blocks != 0 {
+		t.Fatalf("mapped fill inserted %d blocks into the LRU", st.Blocks)
+	}
+	for _, p := range pins {
+		p.Release()
+	}
+	// The copying path (FileStore.ReadBlocks copies mapped blocks to
+	// heap) is safe to cache and must populate as before.
+	if _, err := cache.ReadBlocks("cached", 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Blocks != 6 {
+		t.Fatalf("copying fill cached %d blocks, want 6", st.Blocks)
+	}
+	// And the now-resident blocks serve pinned reads as plain heap hits.
+	pins = pins[:0]
+	_, mapped, err = cache.ReadBlocksPinned("cached", 0, 6, &pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mapped || len(pins) != 0 {
+		t.Fatal("cache hits must not report mapped")
+	}
+}

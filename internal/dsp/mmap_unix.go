@@ -1,0 +1,48 @@
+//go:build unix && !nommap
+
+package dsp
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported selects the tiered read path at store open. The nommap
+// build tag forces the portable fallback on platforms that do have mmap
+// — CI runs the dsp tests both ways.
+const mmapSupported = true
+
+// mapFile maps path read-only in its entirety. The returned region
+// holds its single owner reference; an empty file is reported as
+// errMmapEmpty (mmap of length zero is invalid) and callers fall back
+// to the heap loader's handling.
+func mapFile(path string) (*mmapRegion, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if st.Size() == 0 {
+		return nil, errMmapEmpty
+	}
+	if st.Size() != int64(int(st.Size())) {
+		return nil, errMmapUnsupported // larger than the address space
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, err
+	}
+	r := &mmapRegion{data: data}
+	r.refs.Store(1)
+	return r, nil
+}
+
+func (r *mmapRegion) unmap() error {
+	data := r.data
+	r.data = nil
+	return syscall.Munmap(data)
+}

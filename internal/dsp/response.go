@@ -33,6 +33,11 @@ type response struct {
 	cuts       []int
 	blockBytes int
 
+	// pins hold mmap'd checkpoint regions alive while blocks reference
+	// them; release drops the pins after the vectored write (or on any
+	// error/drop path — the writer releases every response exactly once).
+	pins []BlockPin
+
 	// bufs is the reused iovec scratch for the vectored write.
 	bufs net.Buffers
 }
@@ -55,6 +60,7 @@ func newResponse() *response {
 	r.blocks = r.blocks[:0]
 	r.cuts = r.cuts[:0]
 	r.blockBytes = 0
+	r.pins = r.pins[:0]
 	return r
 }
 
@@ -65,6 +71,11 @@ func (r *response) release() {
 	for i := range r.blocks {
 		r.blocks[i] = nil
 	}
+	for i := range r.pins {
+		r.pins[i].Release()
+		r.pins[i] = BlockPin{}
+	}
+	r.pins = r.pins[:0]
 	for i := range r.bufs {
 		r.bufs[i] = nil
 	}

@@ -272,7 +272,11 @@ func (s *Server) dispatch(req []byte) *response {
 		if start > 1<<31 {
 			return resp.setErr(fmt.Errorf("dsp: block offset %d out of range", start))
 		}
-		blocks, err := ReadBlockRange(s.store, docID, int(start), int(count))
+		// Pin instead of copy: a store with an mmap tier serves
+		// checkpoint-resident blocks as views into the mapping, held
+		// alive by resp.pins until the writer finishes the vectored
+		// write and releases the response.
+		blocks, err := readBlockRangePinned(s.store, docID, int(start), int(count), &resp.pins)
 		if err != nil {
 			return resp.setErr(err)
 		}

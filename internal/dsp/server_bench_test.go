@@ -77,6 +77,72 @@ func BenchmarkWireReadBlocks(b *testing.B) {
 	}
 }
 
+// BenchmarkWireReadBlocksMapped measures the full zero-copy pipeline
+// over a checkpoint-resident corpus: blocks served as pinned views into
+// the mmap'd image, written with one vectored write, decoded into a
+// pooled client frame. Per-block server-side heap copies: zero — compare
+// allocs/op across the run shapes to see it (the delta is the client's
+// per-op toll, not per-block).
+func BenchmarkWireReadBlocksMapped(b *testing.B) {
+	for _, shape := range []struct {
+		run        int
+		blockBytes int
+	}{
+		{8, 4096},
+		{64, 4096},
+	} {
+		b.Run(fmt.Sprintf("run=%d/block=%d", shape.run, shape.blockBytes), func(b *testing.B) {
+			dir := b.TempDir()
+			store, err := NewFileStoreOptions(dir, FileStoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			const nBlocks = 64
+			if err := store.PutDocument(benchContainer("bench", nBlocks, shape.blockBytes)); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := NewServer(store)
+			go func() { _ = srv.Serve(l) }()
+			defer srv.Close()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			b.SetBytes(int64(shape.run * shape.blockBytes))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := (i * shape.run) % nBlocks
+				if at+shape.run > nBlocks {
+					at = 0
+				}
+				f, err := c.ReadBlocksFrame("bench", at, shape.run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(f.Blocks()) != shape.run {
+					b.Fatalf("got %d blocks", len(f.Blocks()))
+				}
+				f.Release()
+			}
+			b.StopTimer()
+			if st := store.Stats(); mmapSupported && st.MmapReads == 0 {
+				b.Fatalf("benchmark did not exercise the mapped tier: %+v", st)
+			}
+		})
+	}
+}
+
 // BenchmarkWireReadBlock measures the single-block op the serial
 // terminal issues — the per-round-trip floor of the pull path.
 func BenchmarkWireReadBlock(b *testing.B) {

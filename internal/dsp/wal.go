@@ -179,6 +179,21 @@ func (w *walWriter) size() int64 {
 	return w.appended
 }
 
+// statsSnapshot returns (records, appendedBytes, syncs, size) as one
+// consistent point in time. Independent atomic loads could be torn
+// around an in-flight append — Records counted but its bytes not yet —
+// so the snapshot takes both mutexes the counters mutate under: syncMu
+// first, then mu, the same order syncTo acquires them. With both held,
+// no append (mu) and no barrier (syncMu; reset holds mu) can interleave
+// the reads.
+func (w *walWriter) statsSnapshot() (records, appendedBytes, syncs, size int64) {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records.Load(), w.bytesAppended.Load(), w.syncs.Load(), w.appended
+}
+
 func (w *walWriter) close() error { return w.f.Close() }
 
 // replayWal scans the log, handing each intact record body to apply in

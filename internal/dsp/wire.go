@@ -63,6 +63,14 @@ func writeFrame(w io.Writer, payload []byte) error {
 
 // readFrame receives one length-prefixed message.
 func readFrame(r io.Reader) ([]byte, error) {
+	return readFrameInto(r, nil)
+}
+
+// readFrameInto receives one length-prefixed message into buf when its
+// capacity suffices, allocating only when the frame is larger. The
+// returned slice aliases buf in the reuse case — the caller owns the
+// lifetime either way.
+func readFrameInto(r io.Reader, buf []byte) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -71,7 +79,11 @@ func readFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("dsp: frame of %d bytes exceeds limit", n)
 	}
-	buf := make([]byte, n)
+	if uint32(cap(buf)) >= n {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}

@@ -76,15 +76,24 @@ type (
 	// batcher per shard), with crash recovery (parallel segment replay,
 	// torn-tail truncation), background streaming per-shard checkpoints,
 	// a directory lock against double-open, and automatic migration of
-	// the older single-file layout.
+	// the older single-file layout. On unix builds checkpoint images are
+	// mmap'd and checkpoint-resident blocks are served as pinned views
+	// into the mapping — no heap copy between the page cache and the
+	// server's writev.
 	FileStore = dsp.FileStore
 	// FileStoreOptions tunes a FileStore (shard/segment count, fsync
-	// policy, checkpoint budget, recovery parallelism).
+	// policy, checkpoint budget, recovery parallelism, DisableMmap).
 	FileStoreOptions = dsp.FileStoreOptions
 	// FileStoreStats snapshots a FileStore's durability counters,
-	// including SegmentCount, RecoveryDuration, LastCheckpointDuration
-	// and whether the open migrated a legacy single-file layout.
+	// including SegmentCount, RecoveryDuration, LastCheckpointDuration,
+	// the mapped-tier gauges (MappedBytes, MmapReads/HeapReads,
+	// FooterMigrations) and whether the open migrated a legacy
+	// single-file layout.
 	FileStoreStats = dsp.FileStoreStats
+	// BlockFrame is the pooled response of Client.ReadBlocksFrame: its
+	// Blocks alias one reusable buffer that Release returns to the pool;
+	// CopyOut detaches a block that must outlive the frame.
+	BlockFrame = dsp.BlockFrame
 	// StoreServer serves a Store over TCP with per-connection request
 	// pipelining and a bounded worker pool.
 	StoreServer = dsp.Server
