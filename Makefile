@@ -9,7 +9,7 @@ BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
 # >50% worse fails the build.
 BENCH_THRESHOLD ?= 0.5
 
-.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare fmt vet staticcheck ci
+.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare bench-chain fuzz-smoke fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -49,6 +49,28 @@ bench-compare: bench-json
 		$(GO) run ./cmd/sdsbench -compare -threshold $(BENCH_THRESHOLD) $(BENCH_BASELINE) bench-run.json; \
 	fi
 
+## bench-chain: verify the checked-in baselines gate against each other
+## in sequence (BENCH_7 -> BENCH_8 and so on): each cut must pass the
+## compare gate against its predecessor, so the trajectory file never
+## hides a regression between two commits
+bench-chain:
+	@set -e; prev=""; \
+	for f in $$(ls BENCH_*.json 2>/dev/null | sort -V); do \
+		if [ -n "$$prev" ]; then \
+			echo "gate: $$prev -> $$f"; \
+			$(GO) run ./cmd/sdsbench -compare -threshold $(BENCH_THRESHOLD) $$prev $$f; \
+		fi; \
+		prev=$$f; \
+	done; \
+	if [ -z "$$prev" ]; then echo "no BENCH_*.json checked in"; fi
+
+## fuzz-smoke: short fuzz runs over the decrypt surfaces (stored blocks
+## and sealed blobs on arbitrary/mutated inputs); CI runs this on every
+## push, longer runs stay manual
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzDecryptBlock -fuzztime=10s ./internal/secure/
+	$(GO) test -run=NONE -fuzz=FuzzDecryptBlob -fuzztime=10s ./internal/secure/
+
 ## fmt: fail if any file needs gofmt
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -69,4 +91,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test test-nommap bench bench-compare
+ci: fmt vet staticcheck build test test-nommap fuzz-smoke bench bench-compare bench-chain

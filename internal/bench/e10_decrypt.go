@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/secure"
+)
+
+// Card-side decrypt microbenchmark: the consumer-side twin of E9's wire
+// metrics. Two properties are gated:
+//
+//   - decrypt_allocs_per_block: steady-state heap allocations per block
+//     through the batched context path (shared AES schedule, cloned HMAC
+//     pad states, pooled run buffer). Reported as the worst case across
+//     run lengths, so growth with the run would fail the gate as surely
+//     as a regression at any one length.
+//   - batch_vs_serial_decrypt: same-run CPU ratio of the historical
+//     per-call path (fresh cipher + HMAC setup per block, the pre-PR 8
+//     secure.DecryptBlock) over the shared-context batched path, on the
+//     e10 block geometry.
+
+// e10DecryptBlockPlain matches the e10 document's block size.
+const e10DecryptBlockPlain = 256
+
+// decryptBench builds a run of stored blocks and measures the batched
+// path's allocations per block and the serial/batched time ratio.
+func e10Decrypt(rec *Recorder) *Table {
+	key := secure.KeyFromSeed("e10-decrypt")
+	const docID = "e10-decrypt-doc"
+	ctx, err := secure.NewBlockContext(key)
+	if err != nil {
+		panic(err)
+	}
+	const maxRun = 64
+	stored := make([][]byte, maxRun)
+	payload := bytes.Repeat([]byte{0x5d}, e10DecryptBlockPlain)
+	for i := range stored {
+		if stored[i], err = ctx.EncryptBlock(docID, 1, uint32(i), payload); err != nil {
+			panic(err)
+		}
+	}
+	versions := []uint32{1}
+
+	t := &Table{
+		ID:      "E10",
+		Title:   "card-side batch decrypt: amortized context vs per-block setup",
+		Columns: []string{"run", "allocs/block", "serial ns/block", "batched ns/block", "ratio"},
+		Notes: []string{
+			"serial: per-call secure.DecryptBlock (fresh AES + HMAC state per block)",
+			fmt.Sprintf("batched: shared BlockContext, DecryptBlocks into a pooled buffer, %d-byte blocks", e10DecryptBlockPlain),
+			"allocs counted process-wide after pool warmup",
+		},
+	}
+
+	allocsPerBlock := func(run, ops int) float64 {
+		buf := secure.GetRunBuffer()
+		batchOne := func() {
+			plains, b, err := ctx.DecryptBlocks(buf, docID, 0, versions, stored[:run])
+			if err != nil {
+				panic(err)
+			}
+			_ = plains
+			buf = b
+		}
+		for i := 0; i < 32; i++ { // warm the scratch and run-buffer pools
+			batchOne()
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < ops; i++ {
+			batchOne()
+		}
+		runtime.ReadMemStats(&after)
+		secure.PutRunBuffer(buf)
+		return float64(after.Mallocs-before.Mallocs) / float64(ops) / float64(run)
+	}
+
+	timePerBlock := func(run, ops int, batched bool) float64 {
+		start := time.Now()
+		if batched {
+			buf := secure.GetRunBuffer()
+			for i := 0; i < ops; i++ {
+				_, b, err := ctx.DecryptBlocks(buf, docID, 0, versions, stored[:run])
+				if err != nil {
+					panic(err)
+				}
+				buf = b
+			}
+			secure.PutRunBuffer(buf)
+		} else {
+			for i := 0; i < ops; i++ {
+				for j := 0; j < run; j++ {
+					if _, err := secure.DecryptBlock(key, docID, 1, uint32(j), stored[j]); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(ops) / float64(run)
+	}
+
+	worstAllocs := 0.0
+	for _, run := range []int{4, 16, 64} {
+		const ops = 400
+		allocs := allocsPerBlock(run, ops)
+		if allocs > worstAllocs {
+			worstAllocs = allocs
+		}
+		serialNs := timePerBlock(run, ops, false)
+		batchNs := timePerBlock(run, ops, true)
+		ratio := serialNs / batchNs
+		rec.Record(fmt.Sprintf("decrypt_allocs_run%d", run), "allocs/blk", allocs)
+		if run == 16 {
+			// The headline ratio, gated: one representative run length
+			// keeps the gate stable; the table shows the whole sweep.
+			rec.RecordHigher("batch_vs_serial_decrypt", "x", ratio)
+		}
+		t.AddRow(fmt.Sprintf("%d", run), fmt.Sprintf("%.2f", allocs),
+			fmt.Sprintf("%.0f", serialNs), fmt.Sprintf("%.0f", batchNs),
+			fmt.Sprintf("%.1fx", ratio))
+	}
+	rec.RecordLower("decrypt_allocs_per_block", "allocs/blk", worstAllocs)
+	return t
+}

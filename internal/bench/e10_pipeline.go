@@ -247,5 +247,9 @@ func E10Pipeline(rec *Recorder) []*Table {
 			fmt.Sprintf("%d", wasted),
 		)
 	}
-	return []*Table{t1, t2}
+
+	// Table 3: the card-side decrypt microbenchmark behind the pipeline's
+	// prepared runs (gated allocs/block and batch-vs-serial ratio).
+	t3 := e10Decrypt(rec)
+	return []*Table{t1, t2, t3}
 }

@@ -204,8 +204,9 @@ type Card struct {
 	EEPROM  *mem.Tracking
 	Meter   Meter
 
-	mu       sync.Mutex // guards keys and rulesets
+	mu       sync.Mutex // guards keys, ctxs and rulesets
 	keys     map[string]secure.DocKey
+	ctxs     map[string]*secure.BlockContext
 	rulesets map[string]*storedRuleSet
 }
 
@@ -222,6 +223,7 @@ func New(p Profile) *Card {
 		RAM:      mem.NewTracking(p.RAMBudget),
 		EEPROM:   mem.NewTracking(p.EEPROMBudget),
 		keys:     make(map[string]secure.DocKey),
+		ctxs:     make(map[string]*secure.BlockContext),
 		rulesets: make(map[string]*storedRuleSet),
 	}
 }
@@ -233,14 +235,39 @@ func New(p Profile) *Card {
 func (c *Card) PutKey(docID string, key secure.DocKey) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.keys[docID]; !ok {
+	if old, ok := c.keys[docID]; !ok {
 		if err := c.EEPROM.Alloc(48 + len(docID)); err != nil {
 			return fmt.Errorf("card: key store: %w", err)
 		}
 		c.Meter.EEPROMBytes += 48 + int64(len(docID))
+	} else if old != key {
+		delete(c.ctxs, docID) // rotated key: drop the amortized cipher state
 	}
 	c.keys[docID] = key
 	return nil
+}
+
+// DecryptContext returns the card's amortized cipher state for docID:
+// the AES schedule and precomputed HMAC pads of the document key, built
+// once and shared by every session pulling that document through this
+// card. Rotating the key via PutKey invalidates the cached context. The
+// returned context is immutable and safe for concurrent use.
+func (c *Card) DecryptContext(docID string) (*secure.BlockContext, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ctx, ok := c.ctxs[docID]; ok {
+		return ctx, nil
+	}
+	key, ok := c.keys[docID]
+	if !ok {
+		return nil, fmt.Errorf("card: no key for document %q", docID)
+	}
+	ctx, err := secure.NewBlockContext(key)
+	if err != nil {
+		return nil, fmt.Errorf("card: building decrypt context: %w", err)
+	}
+	c.ctxs[docID] = ctx
+	return ctx, nil
 }
 
 // Key fetches a provisioned key.
@@ -302,11 +329,11 @@ func (c *Card) PutRuleSet(rs *accessrule.RuleSet) error {
 // store cannot hand one subject another subject's rights; version
 // monotonicity (PutRuleSet) defeats replay of revoked sets.
 func (c *Card) PutSealedRuleSet(docID, subject string, sealed []byte) error {
-	key, err := c.Key(docID)
+	ctx, err := c.DecryptContext(docID)
 	if err != nil {
 		return err
 	}
-	plain, err := secure.DecryptBlob(key, RuleBlobNamespace(docID, subject), 0, sealed)
+	plain, err := ctx.DecryptBlob(RuleBlobNamespace(docID, subject), 0, sealed)
 	if err != nil {
 		return fmt.Errorf("card: unsealing rule set: %w", err)
 	}

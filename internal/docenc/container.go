@@ -271,9 +271,13 @@ func (c *Container) DecryptPayload(key secure.DocKey) ([]byte, error) {
 	if err := c.Header.Verify(key); err != nil {
 		return nil, err
 	}
+	sctx, err := secure.NewBlockContext(key)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]byte, 0, c.Header.PayloadLen)
 	for i, blk := range c.Blocks {
-		plain, err := secure.DecryptBlock(key, c.Header.DocID, c.Header.BlockGen(i), uint32(i), blk)
+		plain, err := sctx.DecryptBlock(c.Header.DocID, c.Header.BlockGen(i), uint32(i), blk)
 		if err != nil {
 			return nil, err
 		}

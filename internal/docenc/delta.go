@@ -140,13 +140,17 @@ func DiffEncode(root *xmlstream.Node, opts EncodeOptions, old *Container) (*Delt
 		BaseVersion: old.Header.Version,
 		TotalBlocks: enc.NumBlocks(),
 	}
+	sctx, err := secure.NewBlockContext(opts.Key)
+	if err != nil {
+		return nil, nil, err
+	}
 	gens := make([]uint32, 0, enc.NumBlocks())
 	err = enc.runPlain(func(idx int, plain []byte) error {
 		if blockEqual(blockAt(oldPayload, opts.BlockPlain, idx), plain) {
 			gens = append(gens, old.Header.BlockGen(idx))
 			return nil
 		}
-		stored, err := secure.EncryptBlock(opts.Key, opts.DocID, opts.Version, uint32(idx), plain)
+		stored, err := sctx.EncryptBlock(opts.DocID, opts.Version, uint32(idx), plain)
 		if err != nil {
 			return err
 		}

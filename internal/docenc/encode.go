@@ -173,12 +173,16 @@ func Seal(payload []byte, opts EncodeOptions) (*Container, error) {
 		},
 	}
 	c.Header.MAC = secure.HeaderMAC(opts.Key, c.Header.canonical())
+	sctx, err := secure.NewBlockContext(opts.Key)
+	if err != nil {
+		return nil, err
+	}
 	for i := 0; i < len(payload); i += opts.BlockPlain {
 		end := i + opts.BlockPlain
 		if end > len(payload) {
 			end = len(payload)
 		}
-		blk, err := secure.EncryptBlock(opts.Key, opts.DocID, opts.Version,
+		blk, err := sctx.EncryptBlock(opts.DocID, opts.Version,
 			uint32(len(c.Blocks)), payload[i:end])
 		if err != nil {
 			return nil, err
@@ -412,8 +416,12 @@ func (e *Encoder) Info() *EncodeInfo { return e.plan.info }
 // Run streams the stored blocks, in order, to emit. It can be called
 // once.
 func (e *Encoder) Run(emit func(idx int, stored []byte) error) error {
+	sctx, err := secure.NewBlockContext(e.plan.opts.Key)
+	if err != nil {
+		return err
+	}
 	return e.runPlain(func(idx int, plain []byte) error {
-		stored, err := secure.EncryptBlock(e.plan.opts.Key, e.plan.opts.DocID,
+		stored, err := sctx.EncryptBlock(e.plan.opts.DocID,
 			e.plan.opts.Version, uint32(idx), plain)
 		if err != nil {
 			return err

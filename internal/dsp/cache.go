@@ -280,9 +280,27 @@ func (c *Cache) readBlocks(docID string, start, count int, pins *[]BlockPin) ([]
 		var got [][]byte
 		var mapped bool
 		var err error
-		if pins != nil && pinnable {
+		switch {
+		case pins != nil && pinnable:
 			got, mapped, err = pr.ReadBlocksPinned(docID, start+missFrom, end-missFrom, pins)
-		} else {
+		case pinnable:
+			// Plain fills ride the pinned tier too: a gap served out of a
+			// mapped checkpoint image is copied out of the mapping once
+			// for the caller (the views die with the pins) and then NOT
+			// inserted into the LRU — the mapping re-serves those blocks
+			// from the page cache for free, so caching the copies would
+			// evict blocks that are genuinely expensive to refetch.
+			var local []BlockPin
+			got, mapped, err = pr.ReadBlocksPinned(docID, start+missFrom, end-missFrom, &local)
+			if err == nil && mapped {
+				for j, b := range got {
+					got[j] = append(make([]byte, 0, len(b)), b...)
+				}
+			}
+			for _, p := range local {
+				p.Release()
+			}
+		default:
 			got, err = ReadBlockRange(c.store, docID, start+missFrom, end-missFrom)
 		}
 		if err != nil {

@@ -128,6 +128,11 @@ type FileStoreStats struct {
 	// serves without holding it resident.
 	MappedBytes          int64
 	MmapReads, HeapReads int64
+	// MadviseCalls counts paging-advice hints issued for mapped images:
+	// WILLNEED ahead of footer-driven recovery scans and large cold
+	// pinned runs, SEQUENTIAL on freshly installed images. Always 0 on
+	// platforms without madvise and under -tags nommap.
+	MadviseCalls int64
 	// FooterMigrations counts segments whose footerless (pre-index)
 	// checkpoint image this open rewrote with a block-index footer.
 	FooterMigrations int64
@@ -183,9 +188,10 @@ type FileStore struct {
 	mmapOn bool
 	// mappedBytes tracks the combined size of the segments' current
 	// regions; mmapReads / heapReads count blocks served per tier.
-	mappedBytes atomic.Int64
-	mmapReads   atomic.Int64
-	heapReads   atomic.Int64
+	mappedBytes  atomic.Int64
+	mmapReads    atomic.Int64
+	heapReads    atomic.Int64
+	madviseCalls atomic.Int64
 	// footerMigrations is set during open (before the store is visible).
 	footerMigrations int64
 
@@ -642,6 +648,7 @@ func (s *FileStore) Stats() FileStoreStats {
 	st.MappedBytes = s.mappedBytes.Load()
 	st.MmapReads = s.mmapReads.Load()
 	st.HeapReads = s.heapReads.Load()
+	st.MadviseCalls = s.madviseCalls.Load()
 	st.FooterMigrations = s.footerMigrations
 	if s.gc != nil {
 		// One consistent pair: both counters mutate under gc.mu, so a
@@ -908,16 +915,30 @@ func (s *FileStore) ReadBlocksPinned(docID string, start, count int, pins *[]Blo
 	}
 	out := make([][]byte, count)
 	copy(out, c.Blocks[start:start+count])
-	var mapped int64
+	var mapped, mappedBytes int64
+	var first, last []byte
 	if reg := seg.region; reg != nil {
 		for _, b := range out {
 			if reg.contains(b) {
 				mapped++
+				mappedBytes += int64(len(b))
+				if first == nil {
+					first = b
+				}
+				last = b
 			}
 		}
 		if mapped > 0 {
 			reg.acquire()
 			*pins = append(*pins, BlockPin{r: reg})
+			// A large cold run is about to stream out of the mapping
+			// (disk → page cache → writev): prime the readahead. Small
+			// runs skip the syscall — the page cache wins on its own.
+			if mappedBytes >= madviseRunBytes {
+				if sp := reg.span(first, last); madviseSpan(reg.data, sp, adviseWillNeed) {
+					s.madviseCalls.Add(1)
+				}
+			}
 		}
 	}
 	s.mmapReads.Add(mapped)
@@ -1600,6 +1621,13 @@ func (s *FileStore) loadCheckpointMapped(seg *segment) (bool, error) {
 		region.release()
 		return false, fmt.Errorf("dsp: %s: bad checkpoint magic", s.segCkptPath(seg.idx))
 	}
+	// The footer-driven scan is about to fault the whole image in (index
+	// entries at the tail, geometry validation over the headers): tell
+	// the kernel now so recovery reads ahead instead of faulting page by
+	// page.
+	if madviseSpan(data, data, adviseWillNeed) {
+		s.madviseCalls.Add(1)
+	}
 	idx, err := parseCkptIndex(data)
 	if err != nil {
 		// No footer (v1 image) or a corrupt one: the body is the source
@@ -1669,6 +1697,12 @@ func (s *FileStore) installMapping(seg *segment) {
 	region, err := mapFile(s.segCkptPath(seg.idx))
 	if err != nil {
 		return // heap keeps serving; the next checkpoint retries
+	}
+	// Cold reads over a fresh image arrive as forward block runs (the
+	// terminal's batched pulls, streaming re-checkpoints): ask for
+	// sequential readahead over the whole mapping.
+	if madviseSpan(region.data, region.data, adviseSequential) {
+		s.madviseCalls.Add(1)
 	}
 	idx, err := parseCkptIndex(region.data)
 	if err != nil {

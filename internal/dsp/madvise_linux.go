@@ -1,0 +1,54 @@
+//go:build linux && !nommap
+
+package dsp
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// Paging advice for the mmap read tier. The mapped checkpoint image is
+// served straight out of the page cache; telling the kernel how it will
+// be read turns first-touch major faults into readahead: WILLNEED on
+// the spans a footer-driven recovery scan or a large cold batched read
+// is about to walk, SEQUENTIAL on a freshly installed image whose cold
+// reads arrive as forward block runs.
+
+// madviseSupported gates the counters' expectations in tests; builds
+// without the syscall (or without mmap at all) report false and every
+// hint degrades to a no-op.
+const madviseSupported = true
+
+// madviseSpan issues paging advice for the part of base that span
+// occupies, aligning the span start down to a page boundary (base is an
+// mmap result, so its first byte is page-aligned). It reports whether
+// the advice was actually issued; failures are deliberately swallowed —
+// advice is an optimization, never a correctness dependency.
+func madviseSpan(base, span []byte, advice madviseHint) bool {
+	if len(base) == 0 || len(span) == 0 {
+		return false
+	}
+	pg := uintptr(os.Getpagesize())
+	b0 := uintptr(unsafe.Pointer(&base[0]))
+	s0 := uintptr(unsafe.Pointer(&span[0]))
+	if s0 < b0 || s0-b0 >= uintptr(len(base)) {
+		return false // not a view into base; nothing sane to advise
+	}
+	off := s0 - b0
+	end := off + uintptr(len(span))
+	if end > uintptr(len(base)) {
+		return false
+	}
+	off &^= pg - 1
+	var sysAdvice int
+	switch advice {
+	case adviseWillNeed:
+		sysAdvice = syscall.MADV_WILLNEED
+	case adviseSequential:
+		sysAdvice = syscall.MADV_SEQUENTIAL
+	default:
+		return false
+	}
+	return syscall.Madvise(base[off:end], sysAdvice) == nil
+}

@@ -1,0 +1,12 @@
+//go:build !linux || nommap
+
+package dsp
+
+// Portable fallback: platforms without the Madvise syscall (or builds
+// without the mmap tier) take every hint as a no-op. Correctness never
+// depends on advice; only the MadviseCalls counter observes the
+// difference.
+
+const madviseSupported = false
+
+func madviseSpan(base, span []byte, advice madviseHint) bool { return false }

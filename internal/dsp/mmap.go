@@ -32,6 +32,26 @@ var (
 	errMmapEmpty = errors.New("dsp: cannot map empty file")
 )
 
+// madviseHint names the paging-advice patterns the read tier uses; the
+// platform files translate them to MADV_* values where they exist.
+type madviseHint int
+
+const (
+	// adviseWillNeed: the span is about to be read — start readahead now
+	// (recovery's footer-driven scans, large cold pinned runs).
+	adviseWillNeed madviseHint = iota
+	// adviseSequential: reads over this mapping arrive as forward runs —
+	// aggressive readahead, early reclaim behind the cursor (freshly
+	// installed checkpoint images).
+	adviseSequential
+)
+
+// madviseRunBytes is the floor below which a pinned read skips the
+// WILLNEED hint: a syscall per small run costs more than the faults it
+// saves, and short runs are covered by the image-wide SEQUENTIAL advice
+// installMapping already issued.
+const madviseRunBytes = 64 << 10
+
 // mmapRegion is one read-only file mapping with reference-counted
 // lifetime.
 type mmapRegion struct {
@@ -67,6 +87,22 @@ func (r *mmapRegion) contains(b []byte) bool {
 	base := uintptr(unsafe.Pointer(&r.data[0]))
 	p := uintptr(unsafe.Pointer(&b[0]))
 	return p >= base && p-base < uintptr(len(r.data))
+}
+
+// span returns the subslice of the mapping covering first through last
+// (both views into it, in address order), or nil when either is not —
+// the shape madvise hints for a pinned block run want.
+func (r *mmapRegion) span(first, last []byte) []byte {
+	if !r.contains(first) || !r.contains(last) {
+		return nil
+	}
+	base := uintptr(unsafe.Pointer(&r.data[0]))
+	lo := uintptr(unsafe.Pointer(&first[0])) - base
+	hi := uintptr(unsafe.Pointer(&last[0])) - base + uintptr(len(last))
+	if hi <= lo || hi > uintptr(len(r.data)) {
+		return nil
+	}
+	return r.data[lo:hi]
 }
 
 // BlockPin pins the mapped memory behind zero-copy block views handed

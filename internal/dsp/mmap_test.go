@@ -368,21 +368,122 @@ func TestCacheSkipsMappedFills(t *testing.T) {
 	for _, p := range pins {
 		p.Release()
 	}
-	// The copying path (FileStore.ReadBlocks copies mapped blocks to
-	// heap) is safe to cache and must populate as before.
-	if _, err := cache.ReadBlocks("cached", 0, 6); err != nil {
+	// The plain path rides the pinned tier too: a mapped fill is copied
+	// out of the mapping once for the caller and NOT retained in the LRU
+	// — the page cache re-serves those blocks for free, so the capacity
+	// is kept for blocks that are expensive to refetch.
+	plain1, err := cache.ReadBlocks("cached", 0, 6)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if st := cache.Stats(); st.Blocks != 6 {
-		t.Fatalf("copying fill cached %d blocks, want 6", st.Blocks)
+	for i := range plain1 {
+		if !bytes.Equal(plain1[i], c.Blocks[i]) {
+			t.Fatalf("plain fill block %d differs", i)
+		}
+	}
+	if st := cache.Stats(); st.Blocks != 0 {
+		t.Fatalf("mapped plain fill cached %d blocks, want 0", st.Blocks)
+	}
+	// The caller got private copies, not mapped views: scribbling on
+	// them must not reach the store.
+	plain1[0][0] ^= 0xff
+	plain2, err := cache.ReadBlocks("cached", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(plain2[0], c.Blocks[0]) {
+		t.Fatal("plain fill handed out a view into shared memory")
+	}
+	// A heap-resident document (committed after the checkpoint, so not
+	// in any mapped image) still populates the LRU as before.
+	heap := mmapTestContainer("heap-doc", 1, 4)
+	if err := s.PutDocument(heap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cache.ReadBlocks("heap-doc", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Blocks != 4 {
+		t.Fatalf("heap fill cached %d blocks, want 4", st.Blocks)
 	}
 	// And the now-resident blocks serve pinned reads as plain heap hits.
 	pins = pins[:0]
-	_, mapped, err = cache.ReadBlocksPinned("cached", 0, 6, &pins)
+	_, mapped, err = cache.ReadBlocksPinned("heap-doc", 0, 4, &pins)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mapped || len(pins) != 0 {
 		t.Fatal("cache hits must not report mapped")
+	}
+}
+
+// TestMadviseCounter checks that the read tier issues paging advice at
+// the three advertised moments — image install after a checkpoint,
+// footer-driven recovery scan, large cold pinned runs — and that the
+// counter stays zero where the platform (or the nommap build) has no
+// madvise. Advice is best-effort by design, but on Linux over a real
+// tmpdir the calls must succeed.
+func TestMadviseCounter(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{})
+	// 192 blocks x ~520 stored bytes ≈ 97 KiB: over the WILLNEED floor.
+	c := mmapTestContainer("advised", 1, 192)
+	if err := s.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	afterInstall := s.Stats().MadviseCalls
+	if madviseSupported && afterInstall == 0 {
+		t.Fatal("installing a mapped image issued no SEQUENTIAL advice")
+	}
+	if !madviseSupported && afterInstall != 0 {
+		t.Fatalf("madvise unsupported but %d calls counted", afterInstall)
+	}
+
+	var pins []BlockPin
+	_, mapped, err := s.ReadBlocksPinned("advised", 0, 192, &pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterRead := s.Stats().MadviseCalls
+	if madviseSupported {
+		if !mapped {
+			t.Fatal("checkpointed blocks not served mapped")
+		}
+		if afterRead <= afterInstall {
+			t.Fatal("a large cold pinned run issued no WILLNEED advice")
+		}
+	}
+	// A run under the floor must not spend a syscall.
+	if _, _, err := s.ReadBlocksPinned("advised", 0, 4, &pins); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().MadviseCalls; got != afterRead {
+		t.Fatalf("a %d-block run advised anyway (%d -> %d calls)", 4, afterRead, got)
+	}
+	for _, p := range pins {
+		p.Release()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery maps the image back and WILLNEEDs it for the footer scan.
+	s2 := openFileStore(t, dir, FileStoreOptions{})
+	defer s2.Close()
+	if got := s2.Stats().MadviseCalls; madviseSupported && got == 0 {
+		t.Fatal("recovery scan issued no WILLNEED advice")
+	}
+	blocks, err := s2.ReadBlocks("advised", 0, 192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range blocks {
+		if !bytes.Equal(blocks[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs after advised recovery", i)
+		}
 	}
 }

@@ -226,6 +226,21 @@ func (p *Pool) ReadBlocks(docID string, start, count int) (bs [][]byte, err erro
 	return bs, err
 }
 
+// ReadBlocksFrame is the pooled-buffer batched read over a borrowed
+// connection (see Client.ReadBlocksFrame). The frame is independent of
+// the connection once the round trip completes, so releasing it after
+// the slot went back to the pool is safe.
+func (p *Pool) ReadBlocksFrame(docID string, start, count int) (f *BlockFrame, err error) {
+	if start < 0 || count < 0 {
+		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
+	}
+	err = p.withConn(func(c *Client) error {
+		f, err = c.ReadBlocksFrame(docID, start, count)
+		return err
+	})
+	return f, err
+}
+
 // BeginUpdate implements DocUpdater. The update token is store-side
 // state, not connection state, so each op of the handshake may travel
 // over a different pooled connection.

@@ -253,6 +253,13 @@ func (g *Gateway) provisionLocked(tn *tenant, subject, docID string) error {
 	if err := tn.card.PutKey(docID, key); err != nil {
 		return err
 	}
+	// Warm the card's amortized cipher state while the tenant lock is
+	// already held: every session this tenant runs against docID shares
+	// the one context (AES schedule + precomputed HMAC pads) instead of
+	// rebuilding it per query.
+	if _, err := tn.card.DecryptContext(docID); err != nil {
+		return err
+	}
 	if err := g.installRulesLocked(tn, subject, docID); err != nil {
 		return err
 	}

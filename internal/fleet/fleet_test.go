@@ -299,3 +299,124 @@ func TestGatewayClose(t *testing.T) {
 		t.Error("closed gateway must refuse queries")
 	}
 }
+
+// TestSharedDecryptContextRace hammers one tenant card's cached cipher
+// context from many goroutines — the sharing the gateway sets up when it
+// warms the context at provisioning and every session of the subject
+// reuses it. Raw decrypts through the shared context run concurrently
+// with gateway queries over the same card and with PutKey re-installs of
+// the unchanged key (which must NOT invalidate the context), and every
+// plaintext is checked against the one-shot secure.DecryptBlock oracle.
+// Run under -race this is the decrypt-pipeline thread-safety test.
+func TestSharedDecryptContextRace(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, proxy.DefaultPrefetch)
+	defer g.Close()
+
+	docID := w.docs[0]
+	key := w.keys[docID]
+	c := card.New(card.Modern)
+	if err := c.PutKey(docID, key); err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := c.DecryptContext(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const blocks = 32
+	stored := make([][]byte, blocks)
+	plains := make([][]byte, blocks)
+	for i := range stored {
+		plains[i] = []byte(fmt.Sprintf("shared-context block %d payload", i))
+		stored[i], err = secure.EncryptBlock(key, docID, 1, uint32(i), plains[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers+2)
+
+	// Raw shared-context decrypt hammer.
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for r := 0; r < 40; r++ {
+				i := (wk*11 + r*5) % blocks
+				got, err := ctx.DecryptBlock(docID, 1, uint32(i), stored[i])
+				if err != nil {
+					errCh <- fmt.Errorf("shared context block %d: %w", i, err)
+					return
+				}
+				want, err := secure.DecryptBlock(key, docID, 1, uint32(i), stored[i])
+				if err != nil || string(got) != string(want) {
+					errCh <- fmt.Errorf("shared context block %d diverges from the one-shot oracle", i)
+					return
+				}
+			}
+		}(wk)
+	}
+	// Same-key re-installs racing the readers: the cached context must
+	// survive (only a rotated key drops it).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 40; r++ {
+			if err := c.PutKey(docID, key); err != nil {
+				errCh <- err
+				return
+			}
+			if _, err := c.DecryptContext(docID); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	// Gateway traffic over the same document, sharing its own per-tenant
+	// contexts across pipelined sessions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 10; r++ {
+			subject := w.subjects[r%len(w.subjects)]
+			res, err := g.Query(subject, docID, "")
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if want := w.oracle[subject+"|"+docID+"|"]; res.XML() != want {
+				errCh <- fmt.Errorf("gateway result for %s diverges under context hammer", subject)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// The context is still the cached one (same pointer), and rotating
+	// the key really does drop it.
+	again, err := c.DecryptContext(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != ctx {
+		t.Error("re-installing the same key must keep the cached context")
+	}
+	rotated := secure.KeyFromSeed("rotated:" + docID)
+	if err := c.PutKey(docID, rotated); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := c.DecryptContext(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == ctx {
+		t.Error("rotating the key must invalidate the cached context")
+	}
+}

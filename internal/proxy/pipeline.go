@@ -8,28 +8,41 @@ import (
 // The pipelined pull path splits the terminal in two stages connected by
 // a bounded double buffer:
 //
-//	prefetcher ──runCh──▶ feed/evaluate
-//	     ▲                    │
-//	     └──────wantCh────────┘ (demand jumps only)
+//	prefetch+decrypt ──runCh──▶ feed/evaluate
+//	     ▲                          │
+//	     └──────────wantCh──────────┘ (demand jumps only)
 //
 // The prefetcher speculatively fetches contiguous runs of blocks — one
-// batched store round trip per run — while the consumer feeds the
-// previous run into the card. As long as the card consumes linearly the
-// two stages overlap perfectly and no demand signalling is needed; when
-// the card's skip index jumps the wanted offset beyond the buffered
-// data, the consumer bumps a generation counter and redirects the
-// prefetcher, and every block fetched under the old generation is
-// accounted as speculation waste (ResultStats.BlocksWasted).
+// batched store round trip per run — and decrypts each run through the
+// card's shared cipher context (soe.Session.PrepareRun: MAC verify and
+// CTR XOR fanned across a small worker pool) before handing it over, so
+// the consumer's critical path is pure feed/evaluate. When the store
+// supports pooled frames (dsp.Client / dsp.Pool) the run is decrypted
+// in place inside the frame buffer: the block bytes are written by the
+// store exactly once and never copied again until the session's source
+// window absorbs the plaintext. As long as the card consumes linearly
+// the two stages overlap perfectly and no demand signalling is needed;
+// when the card's skip index jumps the wanted offset beyond the
+// buffered data, the consumer bumps a generation counter and redirects
+// the prefetcher, and every block fetched under the old generation is
+// accounted as speculation waste (ResultStats.BlocksWasted). Meter
+// determinism survives the speculation: PrepareRun charges nothing, and
+// FeedPrepared charges exactly what the serial Feed would, block by
+// consumed block.
 //
 // The buffer is bounded by construction: one run held by the consumer,
-// one in the channel, one in flight at the prefetcher.
+// one in the channel, one in flight at the prefetcher. Runs own pooled
+// resources (plaintext run buffers, client frames), so every path that
+// drops a run — stale generation, redirect, shutdown — must Release it.
 
-// fetchRun is one speculative batch pulled from the store.
+// fetchRun is one speculative batch pulled from the store and decrypted
+// ahead of demand.
 type fetchRun struct {
-	gen    int
-	start  int
-	blocks [][]byte
-	err    error
+	gen   int
+	start int
+	count int
+	prep  *soe.PreparedRun
+	err   error
 }
 
 // jump redirects the prefetcher to a new demand point.
@@ -49,6 +62,12 @@ type jump struct {
 type prefetchTotals struct {
 	blocks int // blocks pulled from the store, useful and wasted alike
 	bytes  int64
+}
+
+// frameReader is the store capability the in-place decrypt path needs:
+// batched reads into caller-owned pooled buffers.
+type frameReader interface {
+	ReadBlocksFrame(docID string, start, count int) (*dsp.BlockFrame, error)
 }
 
 // runLen picks the next run length: the configured depth k, stretched up
@@ -83,24 +102,35 @@ func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, 
 		pfDone = make(chan struct{})
 		totals prefetchTotals
 	)
-	go t.prefetchLoop(docID, numBlocks, wantCh, runCh, done, pfDone, &totals)
+	go t.prefetchLoop(sess, docID, numBlocks, wantCh, runCh, done, pfDone, &totals)
 
 	fed := 0
+	var (
+		cur  fetchRun // have==true: the current fresh-generation run
+		have bool
+	)
 	defer func() {
 		close(done)
 		<-pfDone
-		stats.BlocksFetched += totals.blocks
-		stats.BytesFetched += totals.bytes
-		stats.BlocksWasted += totals.blocks - fed
+		// Return every outstanding pooled resource: the held run and any
+		// run the prefetcher managed to buffer before pfDone.
+		cur.prep.Release()
+		for {
+			select {
+			case r := <-runCh:
+				r.prep.Release()
+			default:
+				stats.BlocksFetched += totals.blocks
+				stats.BytesFetched += totals.bytes
+				stats.BlocksWasted += totals.blocks - fed
+				return
+			}
+		}
 	}()
 
 	gen := 0
 	wantCh <- jump{gen: gen, idx: next, sure: sure}
 
-	var (
-		cur  fetchRun // have==true: the current fresh-generation run
-		have bool
-	)
 	for {
 		idx := sess.NeedBlock()
 		if idx < 0 {
@@ -111,42 +141,52 @@ func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, 
 		// source never re-requests a fed block), so idx >= cur.start
 		// whenever a fresh run is held.
 		for {
-			if have && idx < cur.start+len(cur.blocks) {
+			if have && idx < cur.start+cur.count {
 				break
 			}
-			if have && idx > cur.start+len(cur.blocks) {
+			if have && idx > cur.start+cur.count {
 				// The demand skipped past this run and anything
 				// contiguously in flight behind it: redirect.
 				gen++
 				_, sure = sess.NeedRun()
 				wantCh <- jump{gen: gen, idx: idx, sure: sure}
-				have = false
+				cur.prep.Release()
+				cur, have = fetchRun{}, false
 				continue
 			}
 			// No run yet, a stale run was dropped, or idx is exactly the
 			// next contiguous block: take the next run.
+			if have {
+				cur.prep.Release() // fully consumed predecessor
+			}
 			r := <-runCh
-			if r.err != nil && r.gen == gen {
+			if r.gen != gen {
+				// A stale-generation run is discarded speculation; its
+				// blocks stay counted in totals and therefore in the waste.
+				r.prep.Release()
+				cur, have = fetchRun{}, false
+				continue
+			}
+			if r.err != nil {
 				return r.err
 			}
-			// A stale-generation run is discarded speculation; its blocks
-			// stay counted in totals and therefore in the waste.
-			cur, have = r, r.gen == gen
+			cur, have = r, true
 		}
-		blk := cur.blocks[idx-cur.start]
 		fed++
-		if err := feedBlock(sess, col, idx, blk); err != nil {
+		if err := feedPrepared(sess, col, idx, cur.prep); err != nil {
 			return err
 		}
 	}
 }
 
-// prefetchLoop is the fetch stage: it walks forward from the latest
-// demand point in batched runs, parking when it overruns the payload and
-// restarting whenever the consumer redirects it.
-func (t *Terminal) prefetchLoop(docID string, numBlocks int, wantCh chan jump, runCh chan fetchRun, done chan struct{}, pfDone chan struct{}, totals *prefetchTotals) {
+// prefetchLoop is the fetch+decrypt stage: it walks forward from the
+// latest demand point in batched runs, decrypts each run through the
+// session's prepared path, parks when it overruns the payload and
+// restarts whenever the consumer redirects it.
+func (t *Terminal) prefetchLoop(sess *soe.Session, docID string, numBlocks int, wantCh chan jump, runCh chan fetchRun, done chan struct{}, pfDone chan struct{}, totals *prefetchTotals) {
 	defer close(pfDone)
 	k := t.Prefetch
+	fr, _ := t.Store.(frameReader)
 	cur, gen, sure := -1, 0, 1
 	for {
 		if cur < 0 || cur >= numBlocks {
@@ -159,13 +199,42 @@ func (t *Terminal) prefetchLoop(docID string, numBlocks int, wantCh chan jump, r
 			continue
 		}
 		n := runLen(k, sure, numBlocks-cur)
-		blocks, err := dsp.ReadBlockRange(t.Store, docID, cur, n)
+
+		// Fetch the run; through the frame path when the store offers it
+		// (the ciphertext then lives in a pooled buffer this pipeline
+		// owns, so decryption can happen in place).
+		var (
+			blocks  [][]byte
+			owned   bool
+			release func()
+			err     error
+		)
+		if fr != nil {
+			var f *dsp.BlockFrame
+			if f, err = fr.ReadBlocksFrame(docID, cur, n); err == nil {
+				blocks, owned, release = f.Blocks(), true, f.Release
+			}
+		} else {
+			blocks, err = dsp.ReadBlockRange(t.Store, docID, cur, n)
+		}
 		for _, b := range blocks {
 			totals.blocks++
 			totals.bytes += int64(len(b))
 		}
+
+		// Decrypt off the consumer's critical path. Per-block integrity
+		// failures ride inside the prepared run and surface only if the
+		// card actually demands the bad block.
+		var prep *soe.PreparedRun
+		if err == nil {
+			prep, err = sess.PrepareRun(cur, blocks, owned, release)
+			if err != nil && release != nil {
+				release()
+			}
+		}
+
 		select {
-		case runCh <- fetchRun{gen: gen, start: cur, blocks: blocks, err: err}:
+		case runCh <- fetchRun{gen: gen, start: cur, count: len(blocks), prep: prep, err: err}:
 			if err != nil {
 				cur = -1 // park; the consumer aborts on the error
 				continue
@@ -177,8 +246,10 @@ func (t *Terminal) prefetchLoop(docID string, numBlocks int, wantCh chan jump, r
 		case j := <-wantCh:
 			// The run was fetched under the old demand and is never
 			// delivered; it stays counted in totals (waste).
+			prep.Release()
 			cur, gen, sure = j.idx, j.gen, j.sure
 		case <-done:
+			prep.Release()
 			return
 		}
 	}

@@ -174,9 +174,20 @@ func (t *Terminal) runSerial(sess *soe.Session, docID string, col *Collector, st
 }
 
 // feedBlock pushes one block into the card and routes the output records
-// to the collector — the evaluate stage shared by both pull paths.
+// to the collector — the evaluate stage of the serial pull path.
 func feedBlock(sess *soe.Session, col *Collector, idx int, blk []byte) error {
 	out, err := sess.Feed(idx, blk)
+	if err != nil {
+		return err
+	}
+	return soe.DecodeRecords(out, col)
+}
+
+// feedPrepared is feedBlock for the pipelined path: the block was
+// already decrypted by the prefetch stage, the card charges its meters
+// at feed time.
+func feedPrepared(sess *soe.Session, col *Collector, idx int, prep *soe.PreparedRun) error {
+	out, err := sess.FeedPrepared(prep, idx)
 	if err != nil {
 		return err
 	}

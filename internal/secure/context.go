@@ -1,0 +1,318 @@
+package secure
+
+// The batched decrypt layer. DecryptBlock pays a fresh aes.NewCipher,
+// a fresh hmac.New (two SHA-256 inits plus key processing) and a heap
+// plaintext per call — per *block*, on the hottest path of the system
+// (the card side of the pull link). A BlockContext amortizes everything
+// that depends only on the key: the AES cipher is built once, and the
+// HMAC ipad/opad SHA-256 states are absorbed once and cloned per block
+// through the hash's encoding.BinaryMarshaler state, which replaces two
+// key-schedule compressions and five allocations per block with two
+// state restores and none. Scratch space (hash clones, counter and
+// keystream buffers, the MAC preimage prefix) lives in a sync.Pool, so
+// a context is safe for concurrent use — the prefetch pipeline decrypts
+// run blocks from several goroutines against one shared context.
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// BlockContext is the reusable per-DocKey cipher state. It is immutable
+// after construction and safe for concurrent use.
+type BlockContext struct {
+	key   DocKey
+	block cipher.Block
+
+	// ipad / opad are the marshaled SHA-256 states after absorbing the
+	// MAC key XOR 0x36 / 0x5c pads — the two halves of HMAC-SHA-256,
+	// precomputed once and restored per block.
+	ipad, opad []byte
+
+	scratch sync.Pool // *blockScratch
+}
+
+// blockScratch is the per-goroutine working state of one block
+// operation; pooling it makes the steady-state path allocation-free.
+type blockScratch struct {
+	inner, outer hash.Hash // HMAC halves, restored from ipad/opad
+	ivh          hash.Hash // plain SHA-256 for IV derivation
+	pre          []byte    // MAC/IV preimage prefix, reused
+	sum          [sha256.Size]byte
+	iv           [sha256.Size]byte
+	ctr, ks      [aes.BlockSize]byte
+}
+
+// NewBlockContext builds the reusable cipher state for one key.
+func NewBlockContext(key DocKey) (*BlockContext, error) {
+	b, err := aes.NewCipher(key.Enc[:])
+	if err != nil {
+		return nil, fmt.Errorf("secure: %w", err)
+	}
+	var pad [sha256.BlockSize]byte
+	for i := range pad {
+		pad[i] = 0x36
+	}
+	for i, kb := range key.Mac {
+		pad[i] ^= kb
+	}
+	inner := sha256.New()
+	inner.Write(pad[:])
+	ipad, err := inner.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("secure: marshaling hmac state: %w", err)
+	}
+	for i := range pad {
+		pad[i] ^= 0x36 ^ 0x5c
+	}
+	outer := sha256.New()
+	outer.Write(pad[:])
+	opad, err := outer.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("secure: marshaling hmac state: %w", err)
+	}
+	c := &BlockContext{key: key, block: b, ipad: ipad, opad: opad}
+	c.scratch.New = func() any {
+		return &blockScratch{inner: sha256.New(), outer: sha256.New(), ivh: sha256.New()}
+	}
+	return c, nil
+}
+
+// Key returns the key this context was built for.
+func (c *BlockContext) Key() DocKey { return c.key }
+
+// restore rewinds a pooled hash to a precomputed state. The states were
+// produced by the same implementation's MarshalBinary, so a failure is
+// a programming error, not an input condition.
+func restore(h hash.Hash, state []byte) {
+	if err := h.(encoding.BinaryUnmarshaler).UnmarshalBinary(state); err != nil {
+		panic(fmt.Sprintf("secure: restoring hmac state: %v", err))
+	}
+}
+
+// macPrefix assembles the positional MAC preimage prefix into s.pre:
+// "blk" || version || blockIdx || len(docID) || docID. One buffered
+// Write instead of four keeps the hot path free of byte-slice
+// conversions.
+func (s *blockScratch) macPrefix(docID string, version, blockIdx uint32) {
+	s.pre = append(s.pre[:0], 'b', 'l', 'k')
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], version)
+	binary.BigEndian.PutUint32(n[4:], blockIdx)
+	s.pre = append(s.pre, n[:]...)
+	binary.BigEndian.PutUint32(n[:4], uint32(len(docID)))
+	s.pre = append(s.pre, n[:4]...)
+	s.pre = append(s.pre, docID...)
+}
+
+// mac computes the positional tag of a ciphertext block — bit-identical
+// to the historical hmac.New(sha256.New, key.Mac) construction, via the
+// precomputed pad states.
+func (c *BlockContext) mac(s *blockScratch, docID string, version, blockIdx uint32, ct []byte) [MACLen]byte {
+	restore(s.inner, c.ipad)
+	s.macPrefix(docID, version, blockIdx)
+	s.inner.Write(s.pre)
+	s.inner.Write(ct)
+	innerSum := s.inner.Sum(s.sum[:0])
+	restore(s.outer, c.opad)
+	s.outer.Write(innerSum)
+	full := s.outer.Sum(s.sum[:0])
+	var out [MACLen]byte
+	copy(out[:], full)
+	return out
+}
+
+// deriveIV computes the CTR start counter into s.iv (same derivation as
+// the package-level path: sha256("sds-iv" || version || blockIdx ||
+// docID), truncated to the AES block size).
+func (c *BlockContext) deriveIV(s *blockScratch, docID string, version, blockIdx uint32) {
+	s.pre = append(s.pre[:0], "sds-iv"...)
+	var n [8]byte
+	binary.BigEndian.PutUint32(n[:4], version)
+	binary.BigEndian.PutUint32(n[4:], blockIdx)
+	s.pre = append(s.pre, n[:]...)
+	s.pre = append(s.pre, docID...)
+	s.ivh.Reset()
+	s.ivh.Write(s.pre)
+	s.ivh.Sum(s.iv[:0])
+}
+
+// ctrXOR applies the AES-CTR keystream starting at s.iv to src, writing
+// into dst (dst may alias src — the in-place path). Equivalent to
+// cipher.NewCTR(block, iv).XORKeyStream but without the per-call stream
+// allocation.
+func (c *BlockContext) ctrXOR(s *blockScratch, dst, src []byte) {
+	copy(s.ctr[:], s.iv[:aes.BlockSize])
+	for len(src) > 0 {
+		c.block.Encrypt(s.ks[:], s.ctr[:])
+		n := len(src)
+		if n > aes.BlockSize {
+			n = aes.BlockSize
+		}
+		if n == aes.BlockSize {
+			// Word-wise XOR of a full keystream block.
+			binary.LittleEndian.PutUint64(dst[:8],
+				binary.LittleEndian.Uint64(src[:8])^binary.LittleEndian.Uint64(s.ks[:8]))
+			binary.LittleEndian.PutUint64(dst[8:16],
+				binary.LittleEndian.Uint64(src[8:16])^binary.LittleEndian.Uint64(s.ks[8:16]))
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = src[i] ^ s.ks[i]
+			}
+		}
+		src = src[n:]
+		dst = dst[n:]
+		for i := aes.BlockSize - 1; i >= 0; i-- {
+			s.ctr[i]++
+			if s.ctr[i] != 0 {
+				break
+			}
+		}
+	}
+}
+
+// EncryptBlock is the context form of the package-level EncryptBlock:
+// ciphertext || tag, len(plain)+MACLen bytes, amortized cipher state.
+func (c *BlockContext) EncryptBlock(docID string, version, blockIdx uint32, plain []byte) ([]byte, error) {
+	s := c.scratch.Get().(*blockScratch)
+	defer c.scratch.Put(s)
+	out := make([]byte, len(plain)+MACLen)
+	c.deriveIV(s, docID, version, blockIdx)
+	c.ctrXOR(s, out[:len(plain)], plain)
+	tag := c.mac(s, docID, version, blockIdx, out[:len(plain)])
+	copy(out[len(plain):], tag[:])
+	return out, nil
+}
+
+// DecryptBlock verifies and decrypts a stored block into fresh heap
+// memory (the context form of the package-level DecryptBlock).
+func (c *BlockContext) DecryptBlock(docID string, version, blockIdx uint32, stored []byte) ([]byte, error) {
+	if len(stored) < MACLen {
+		return nil, fmt.Errorf("%w: block %d shorter than its tag", ErrIntegrity, blockIdx)
+	}
+	plain := make([]byte, len(stored)-MACLen)
+	if err := c.DecryptBlockInto(plain, docID, version, blockIdx, stored); err != nil {
+		return nil, err
+	}
+	return plain, nil
+}
+
+// DecryptBlockInto verifies a stored block and decrypts it into dst,
+// which must be exactly len(stored)-MACLen bytes. dst may alias the
+// ciphertext prefix of stored: the tag is checked before a single byte
+// is transformed, so in-place decryption never reads mixed state.
+func (c *BlockContext) DecryptBlockInto(dst []byte, docID string, version, blockIdx uint32, stored []byte) error {
+	if len(stored) < MACLen {
+		return fmt.Errorf("%w: block %d shorter than its tag", ErrIntegrity, blockIdx)
+	}
+	ct := stored[:len(stored)-MACLen]
+	if len(dst) != len(ct) {
+		return fmt.Errorf("secure: block %d destination is %d bytes, ciphertext is %d", blockIdx, len(dst), len(ct))
+	}
+	s := c.scratch.Get().(*blockScratch)
+	defer c.scratch.Put(s)
+	want := c.mac(s, docID, version, blockIdx, ct)
+	if !hmac.Equal(want[:], stored[len(stored)-MACLen:]) {
+		return fmt.Errorf("%w: block %d tag mismatch", ErrIntegrity, blockIdx)
+	}
+	c.deriveIV(s, docID, version, blockIdx)
+	c.ctrXOR(s, dst, ct)
+	return nil
+}
+
+// DecryptBlockInPlace verifies a stored block and decrypts its
+// ciphertext where it lies, returning the plaintext as a prefix view of
+// stored. Only callers that own the stored bytes may use it — blocks
+// handed out by in-process stores and caches are shared store memory,
+// while a client's pooled BlockFrame is caller-owned until Release.
+func (c *BlockContext) DecryptBlockInPlace(docID string, version, blockIdx uint32, stored []byte) ([]byte, error) {
+	if len(stored) < MACLen {
+		return nil, fmt.Errorf("%w: block %d shorter than its tag", ErrIntegrity, blockIdx)
+	}
+	ct := stored[:len(stored)-MACLen]
+	if err := c.DecryptBlockInto(ct, docID, version, blockIdx, stored); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// DecryptBlocks verifies and decrypts a contiguous run of stored blocks
+// (indices start, start+1, ...) into one contiguous buffer grown from
+// dst (pass a pooled buffer — GetRunBuffer — or nil). versions holds
+// the per-block generation: either one entry per block or a single
+// entry shared by the whole run. It returns one plaintext view per
+// block, all aliasing the returned buffer, and fails on the first bad
+// block with its index in the error (the partial-run contract: nothing
+// is reported decrypted past a failure).
+func (c *BlockContext) DecryptBlocks(dst []byte, docID string, start uint32, versions []uint32, blocks [][]byte) ([][]byte, []byte, error) {
+	if len(versions) != 1 && len(versions) != len(blocks) {
+		return nil, dst, fmt.Errorf("secure: %d versions for %d blocks", len(versions), len(blocks))
+	}
+	total := 0
+	for i, b := range blocks {
+		if len(b) < MACLen {
+			return nil, dst, fmt.Errorf("%w: block %d shorter than its tag", ErrIntegrity, start+uint32(i))
+		}
+		total += len(b) - MACLen
+	}
+	buf := dst[:0]
+	if cap(buf) < total {
+		buf = make([]byte, 0, total)
+	}
+	buf = buf[:total]
+	plains := make([][]byte, len(blocks))
+	at := 0
+	for i, b := range blocks {
+		v := versions[0]
+		if len(versions) > 1 {
+			v = versions[i]
+		}
+		n := len(b) - MACLen
+		seg := buf[at : at+n : at+n]
+		if err := c.DecryptBlockInto(seg, docID, v, start+uint32(i), b); err != nil {
+			return nil, buf, err
+		}
+		plains[i] = seg
+		at += n
+	}
+	return plains, buf, nil
+}
+
+// EncryptBlob seals a standalone blob through the context (same framing
+// as the package-level EncryptBlob).
+func (c *BlockContext) EncryptBlob(namespace string, version uint32, plain []byte) ([]byte, error) {
+	return c.EncryptBlock("blob:"+namespace, version, 0, plain)
+}
+
+// DecryptBlob opens an EncryptBlob result through the context.
+func (c *BlockContext) DecryptBlob(namespace string, version uint32, sealed []byte) ([]byte, error) {
+	return c.DecryptBlock("blob:"+namespace, version, 0, sealed)
+}
+
+// maxPooledRunBuf bounds the capacity a released run buffer may retain,
+// mirroring the client frame pool's cap.
+const maxPooledRunBuf = 1 << 20
+
+// runBufPool recycles the contiguous plaintext buffers of DecryptBlocks
+// across runs.
+var runBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// GetRunBuffer returns a pooled buffer for DecryptBlocks' dst.
+func GetRunBuffer() []byte { return *runBufPool.Get().(*[]byte) }
+
+// PutRunBuffer returns a DecryptBlocks buffer to the pool. The caller
+// must be done with every plaintext view into it.
+func PutRunBuffer(b []byte) {
+	if cap(b) > maxPooledRunBuf {
+		return
+	}
+	b = b[:0]
+	runBufPool.Put(&b)
+}

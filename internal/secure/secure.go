@@ -25,12 +25,9 @@
 package secure
 
 import (
-	"crypto/aes"
-	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
 )
 
@@ -91,70 +88,30 @@ func UnmarshalDocKey(b []byte) (DocKey, error) {
 	return k, nil
 }
 
-// blockIV derives the CTR start counter for a block.
-func blockIV(docID string, version uint32, blockIdx uint32) [aes.BlockSize]byte {
-	h := sha256.New()
-	h.Write([]byte("sds-iv"))
-	var n [8]byte
-	binary.BigEndian.PutUint32(n[:4], version)
-	binary.BigEndian.PutUint32(n[4:], blockIdx)
-	h.Write(n[:])
-	h.Write([]byte(docID))
-	var iv [aes.BlockSize]byte
-	copy(iv[:], h.Sum(nil))
-	return iv
-}
-
-// blockMAC computes the positional tag of a ciphertext block.
-func blockMAC(key DocKey, docID string, version uint32, blockIdx uint32, ct []byte) [MACLen]byte {
-	mac := hmac.New(sha256.New, key.Mac[:])
-	var n [8]byte
-	binary.BigEndian.PutUint32(n[:4], version)
-	binary.BigEndian.PutUint32(n[4:], blockIdx)
-	mac.Write([]byte("blk"))
-	mac.Write(n[:])
-	writeLenPrefixed(mac, []byte(docID))
-	mac.Write(ct)
-	var out [MACLen]byte
-	copy(out[:], mac.Sum(nil))
-	return out
-}
-
 // EncryptBlock produces the stored form of one plaintext block:
 // ciphertext || tag. The stored block is len(plain)+MACLen bytes.
+//
+// One-shot convenience over a throwaway BlockContext; callers that
+// touch more than one block of a key hold a BlockContext instead and
+// pay the cipher and HMAC setup once.
 func EncryptBlock(key DocKey, docID string, version uint32, blockIdx uint32, plain []byte) ([]byte, error) {
-	c, err := aes.NewCipher(key.Enc[:])
+	c, err := NewBlockContext(key)
 	if err != nil {
-		return nil, fmt.Errorf("secure: %w", err)
+		return nil, err
 	}
-	iv := blockIV(docID, version, blockIdx)
-	out := make([]byte, len(plain)+MACLen)
-	cipher.NewCTR(c, iv[:]).XORKeyStream(out[:len(plain)], plain)
-	tag := blockMAC(key, docID, version, blockIdx, out[:len(plain)])
-	copy(out[len(plain):], tag[:])
-	return out, nil
+	return c.EncryptBlock(docID, version, blockIdx, plain)
 }
 
 // DecryptBlock verifies and decrypts a stored block. A tag mismatch
 // (tampering, substitution, replay of another position or version)
-// returns ErrIntegrity.
+// returns ErrIntegrity. One-shot convenience over a throwaway
+// BlockContext (see EncryptBlock).
 func DecryptBlock(key DocKey, docID string, version uint32, blockIdx uint32, stored []byte) ([]byte, error) {
-	if len(stored) < MACLen {
-		return nil, fmt.Errorf("%w: block %d shorter than its tag", ErrIntegrity, blockIdx)
-	}
-	ct := stored[:len(stored)-MACLen]
-	want := blockMAC(key, docID, version, blockIdx, ct)
-	if !hmac.Equal(want[:], stored[len(stored)-MACLen:]) {
-		return nil, fmt.Errorf("%w: block %d tag mismatch", ErrIntegrity, blockIdx)
-	}
-	c, err := aes.NewCipher(key.Enc[:])
+	c, err := NewBlockContext(key)
 	if err != nil {
-		return nil, fmt.Errorf("secure: %w", err)
+		return nil, err
 	}
-	iv := blockIV(docID, version, blockIdx)
-	plain := make([]byte, len(ct))
-	cipher.NewCTR(c, iv[:]).XORKeyStream(plain, ct)
-	return plain, nil
+	return c.DecryptBlock(docID, version, blockIdx, stored)
 }
 
 // ErrIntegrity reports tampered input.
@@ -188,11 +145,4 @@ func EncryptBlob(key DocKey, namespace string, version uint32, plain []byte) ([]
 // DecryptBlob opens an EncryptBlob result.
 func DecryptBlob(key DocKey, namespace string, version uint32, sealed []byte) ([]byte, error) {
 	return DecryptBlock(key, "blob:"+namespace, version, 0, sealed)
-}
-
-func writeLenPrefixed(mac interface{ Write([]byte) (int, error) }, b []byte) {
-	var l [4]byte
-	binary.BigEndian.PutUint32(l[:], uint32(len(b)))
-	mac.Write(l[:])
-	mac.Write(b)
 }

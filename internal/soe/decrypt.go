@@ -1,0 +1,233 @@
+package soe
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/secure"
+)
+
+// PreparedRun is a contiguous run of blocks the terminal has fetched and
+// decrypted ahead of the card's demand. Preparation does the pure
+// cryptographic work — MAC verification and CTR keystream XOR — off the
+// session's critical path; everything the simulator meters (link bytes,
+// APDUs, crypto/MAC byte counts) is charged only when a block is
+// actually fed (FeedPrepared), so a speculatively prepared block the
+// evaluator skips past costs the simulated card nothing, exactly as in
+// the serial path.
+type PreparedRun struct {
+	start      int
+	storedLens []int    // stored sizes, for feed-time link accounting
+	plains     [][]byte // decrypted payloads (views into buf or the frame)
+	errs       []error  // deferred per-block decrypt failures
+	buf        []byte   // pooled contiguous plaintext (nil when in place)
+	release    func()   // frame release when the ciphertext was borrowed
+	fed        int      // blocks consumed so far (monotonic offset)
+}
+
+// Start is the absolute index of the run's first block.
+func (r *PreparedRun) Start() int { return r.start }
+
+// Len is the number of blocks in the run.
+func (r *PreparedRun) Len() int { return len(r.plains) }
+
+// Release returns the run's plaintext buffer to the pool and releases
+// the ciphertext frame, if any. The run must not be fed afterwards;
+// Release is idempotent.
+func (r *PreparedRun) Release() {
+	if r == nil {
+		return
+	}
+	if r.buf != nil {
+		secure.PutRunBuffer(r.buf)
+		r.buf = nil
+	}
+	if r.release != nil {
+		r.release()
+		r.release = nil
+	}
+	r.plains = nil
+}
+
+// prepWorkers is the fan-out of the run decryptor: MAC verify and CTR
+// XOR are independent across blocks, so a short run saturates a few
+// cores without the scheduling cost of one goroutine per block.
+func prepWorkers(blocks int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 4 {
+		w = 4
+	}
+	if w > blocks {
+		w = blocks
+	}
+	return w
+}
+
+// PrepareRun decrypts a fetched run of stored blocks (absolute indices
+// start, start+1, ...) through the card's shared cipher context, fanning
+// the per-block MAC+XOR work across a small worker pool. It may run on
+// the terminal's prefetch goroutine, concurrently with the session
+// consuming earlier blocks: it touches only state that is immutable
+// after LoadHeader and charges no meters.
+//
+// When owned is true the caller guarantees the stored slices are its own
+// (a dsp.BlockFrame it will release via the run) and decryption happens
+// in place — zero copies. Otherwise the plaintexts are decrypted into
+// one pooled contiguous buffer and the stored slices are left untouched.
+// release, if non-nil, is invoked by PreparedRun.Release.
+//
+// Per-block failures (tampered or truncated blocks) are recorded, not
+// returned: the session only aborts if the card actually asks for the
+// bad block, matching the serial path where a block after a skip target
+// is never decrypted at all.
+func (s *Session) PrepareRun(start int, stored [][]byte, owned bool, release func()) (*PreparedRun, error) {
+	if s.ctx == nil {
+		return nil, fmt.Errorf("soe: PrepareRun before LoadHeader")
+	}
+	n := len(stored)
+	r := &PreparedRun{
+		start:      start,
+		storedLens: make([]int, n),
+		plains:     make([][]byte, n),
+		errs:       make([]error, n),
+		release:    release,
+	}
+	total := 0
+	for i, b := range stored {
+		r.storedLens[i] = len(b)
+		if len(b) >= secure.MACLen {
+			total += len(b) - secure.MACLen
+		}
+	}
+	if !owned {
+		buf := secure.GetRunBuffer()
+		if cap(buf) < total {
+			buf = make([]byte, total)
+		}
+		r.buf = buf[:total]
+	}
+
+	docID, hdr := s.header.DocID, &s.header
+	at := 0
+	offsets := make([]int, n)
+	for i, b := range stored {
+		offsets[i] = at
+		if len(b) >= secure.MACLen {
+			at += len(b) - secure.MACLen
+		}
+	}
+	decryptOne := func(i int) {
+		b := stored[i]
+		idx := start + i
+		if len(b) < secure.MACLen {
+			r.errs[i] = fmt.Errorf("%w: block %d shorter than its tag", secure.ErrIntegrity, idx)
+			return
+		}
+		gen := hdr.BlockGen(idx)
+		if owned {
+			plain, err := s.ctx.DecryptBlockInPlace(docID, gen, uint32(idx), b)
+			r.plains[i], r.errs[i] = plain, err
+			return
+		}
+		dst := r.buf[offsets[i] : offsets[i]+len(b)-secure.MACLen]
+		if err := s.ctx.DecryptBlockInto(dst, docID, gen, uint32(idx), b); err != nil {
+			r.errs[i] = err
+			return
+		}
+		r.plains[i] = dst
+	}
+
+	if w := prepWorkers(n); w <= 1 {
+		for i := range stored {
+			decryptOne(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int, n)
+		for i := range stored {
+			next <- i
+		}
+		close(next)
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					decryptOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return r, nil
+}
+
+// FeedPrepared pushes one block of a prepared run into the card. It is
+// the prepared twin of Feed: the same meter charges in the same order,
+// the same geometry validation, the same abort semantics — only the
+// cryptographic work already happened in PrepareRun. blockIdx must be
+// the block NeedBlock asked for and must lie within the run at or past
+// the last block fed from it (the gap being blocks the evaluator
+// skipped, which are charged to no meter — they were speculation).
+func (s *Session) FeedPrepared(r *PreparedRun, blockIdx int) ([]byte, error) {
+	if s.phase != phaseDict && s.phase != phaseStream {
+		return nil, fmt.Errorf("soe: session not accepting blocks (phase %d)", s.phase)
+	}
+	if want := s.NeedBlock(); blockIdx != want {
+		return nil, fmt.Errorf("soe: fed block %d, card wants %d", blockIdx, want)
+	}
+	off := blockIdx - r.start
+	if off < 0 || off >= len(r.plains) {
+		return nil, fmt.Errorf("soe: block %d outside prepared run [%d,%d)", blockIdx, r.start, r.start+len(r.plains))
+	}
+	if off < r.fed {
+		return nil, fmt.Errorf("soe: block %d of the run already fed", blockIdx)
+	}
+	r.fed = off + 1
+
+	// Identical accounting to Feed: the stored block crosses the link...
+	s.card.Meter.BytesToCard += int64(r.storedLens[off])
+	s.card.Meter.APDUs += int64(apduCount(r.storedLens[off], s.card.Profile.MaxAPDUData))
+
+	// ...then the card decrypts it (the simulated card still pays for the
+	// crypto; only the host-side work was hoisted off the critical path).
+	if err := r.errs[off]; err != nil {
+		return nil, s.abort(err)
+	}
+	plain := r.plains[off]
+	s.card.Meter.CryptoBytes += int64(len(plain))
+	s.card.Meter.MACBytes += int64(len(plain))
+
+	expect := int(s.header.BlockPlain)
+	if blockIdx == s.header.NumBlocks()-1 {
+		expect = int(s.header.PayloadLen) - blockIdx*int(s.header.BlockPlain)
+	}
+	if len(plain) != expect {
+		return nil, s.abort(fmt.Errorf("%w: block %d has %d plaintext bytes, geometry says %d",
+			secure.ErrIntegrity, blockIdx, len(plain), expect))
+	}
+
+	if err := s.src.feed(blockIdx, plain); err != nil {
+		return nil, s.abort(err)
+	}
+
+	if s.phase == phaseDict {
+		if err := s.tryFinishDict(); err != nil {
+			if errors.Is(err, errNeedMore) {
+				return s.drainOut(), nil
+			}
+			return nil, s.abort(err)
+		}
+	}
+	if s.phase == phaseStream {
+		if err := s.pump(); err != nil {
+			if errors.Is(err, errNeedMore) {
+				return s.drainOut(), nil
+			}
+			return nil, s.abort(err)
+		}
+	}
+	return s.drainOut(), nil
+}

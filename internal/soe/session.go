@@ -65,6 +65,7 @@ type Session struct {
 	query   *xpath.Path
 
 	key    secure.DocKey
+	ctx    *secure.BlockContext // card-cached cipher state; immutable once set
 	header docenc.Header
 
 	ram        *mem.Scope
@@ -130,7 +131,12 @@ func (s *Session) LoadHeader(hdrBytes []byte) error {
 	if h.DocID != s.docID {
 		return s.abort(fmt.Errorf("soe: header is for document %q, session is for %q", h.DocID, s.docID))
 	}
+	ctx, err := s.card.DecryptContext(h.DocID)
+	if err != nil {
+		return s.abort(err)
+	}
 	s.key = key
+	s.ctx = ctx
 	s.header = h
 	if s.opts.MaxValue <= 0 {
 		s.opts.MaxValue = 8 * int(h.BlockPlain)
@@ -205,7 +211,7 @@ func (s *Session) Feed(blockIdx int, stored []byte) ([]byte, error) {
 	// the untouched blocks keep the ciphertext (and version binding) of
 	// the publication that last wrote them; the MAC'd header vouches for
 	// the generation vector.
-	plain, err := secure.DecryptBlock(s.key, s.header.DocID, s.header.BlockGen(blockIdx), uint32(blockIdx), stored)
+	plain, err := s.ctx.DecryptBlock(s.header.DocID, s.header.BlockGen(blockIdx), uint32(blockIdx), stored)
 	if err != nil {
 		return nil, s.abort(err)
 	}

@@ -87,8 +87,8 @@ type (
 	// FileStoreStats snapshots a FileStore's durability counters,
 	// including SegmentCount, RecoveryDuration, LastCheckpointDuration,
 	// the mapped-tier gauges (MappedBytes, MmapReads/HeapReads,
-	// FooterMigrations) and whether the open migrated a legacy
-	// single-file layout.
+	// FooterMigrations, MadviseCalls) and whether the open migrated a
+	// legacy single-file layout.
 	FileStoreStats = dsp.FileStoreStats
 	// BlockFrame is the pooled response of Client.ReadBlocksFrame: its
 	// Blocks alias one reusable buffer that Release returns to the pool;
