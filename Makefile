@@ -9,7 +9,7 @@ BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
 # >50% worse fails the build.
 BENCH_THRESHOLD ?= 0.5
 
-.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare bench-chain fuzz-smoke fmt vet staticcheck ci
+.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare bench-chain gateway-soak fuzz-smoke fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -30,16 +30,16 @@ bench:
 
 ## bench-smoke: run the system-path experiments end to end (E9 scaled
 ## DSP, E10 gateway, E11 delta re-publish, E12 durable WAL store,
-## E13 segmented durable tier)
+## E13 segmented durable tier, E14 session-pooled gateway daemon)
 bench-smoke:
-	$(GO) run ./cmd/sdsbench E9 E10 E11 E12 E13
+	$(GO) run ./cmd/sdsbench E9 E10 E11 E12 E13 E14
 
-## bench-json: run E9-E13 and write the machine-readable result file
+## bench-json: run E9-E14 and write the machine-readable result file
 ## (bench-run.json, the sds-bench-result/v1 schema of docs/BENCHMARKS.md)
 bench-json:
-	$(GO) run ./cmd/sdsbench -json bench-run.json -label local E9 E10 E11 E12 E13
+	$(GO) run ./cmd/sdsbench -json bench-run.json -label local E9 E10 E11 E12 E13 E14
 
-## bench-compare: run E9-E13 and diff the result against the newest
+## bench-compare: run E9-E14 and diff the result against the newest
 ## checked-in BENCH_*.json; fails on a gated-metric regression beyond
 ## BENCH_THRESHOLD
 bench-compare: bench-json
@@ -63,6 +63,12 @@ bench-chain:
 		prev=$$f; \
 	done; \
 	if [ -z "$$prev" ]; then echo "no BENCH_*.json checked in"; fi
+
+## gateway-soak: hammer gatewayd over loopback TCP under the race
+## detector — hundreds of subjects churning connect/query/disconnect,
+## session-pool leak checks, drain-mid-query, both stats surfaces
+gateway-soak:
+	$(GO) test -race -count=2 -run 'TestGatewayd' ./internal/gateway/
 
 ## fuzz-smoke: short fuzz runs over the decrypt surfaces (stored blocks
 ## and sealed blobs on arbitrary/mutated inputs); CI runs this on every
@@ -91,4 +97,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test test-nommap fuzz-smoke bench bench-compare bench-chain
+ci: fmt vet staticcheck build test test-nommap gateway-soak fuzz-smoke bench bench-compare bench-chain

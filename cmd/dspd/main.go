@@ -96,6 +96,21 @@ func main() {
 		PipelineDepth: *depth,
 	})
 	srv.Logf = log.Printf
+	srv.Stats = func() dsp.ServerStats {
+		var st dsp.ServerStats
+		if ids, err := store.ListDocuments(); err == nil {
+			st.Documents = len(ids)
+		}
+		if cache != nil {
+			cs := cache.Stats()
+			st.Cache = &cs
+		}
+		if durable != nil {
+			ds := durable.Stats()
+			st.Durable = &ds
+		}
+		return st
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.ListenAndServe(*addr) }()

@@ -1,0 +1,238 @@
+// Command gatewayd runs the network-facing card-fleet gateway: the
+// long-running portal of the paper's deployment story, terminating many
+// concurrent subject connections and mediating their pull queries
+// against the untrusted store through a pool of provisioned card
+// sessions (see internal/fleet and internal/gateway).
+//
+// Usage:
+//
+//	gatewayd [-addr :7080] [-http :7081] -store ADDR [-auto-keys | -keys doc=seed,...]
+//
+// The store is either a running dspd (-store ADDR, fronted by -conns
+// pooled connections and an optional local block cache) or a local
+// durable directory (-store-dir DIR) for single-box setups. Document
+// keys come from -keys (an explicit docID=seed table) or -auto-keys
+// (derive every key as KeyFromSeed(docID) — the convention the examples
+// and benchmarks use; never deploy it beyond a demo).
+//
+// The HTTP listener serves GET /stats: a JSON snapshot of wire traffic,
+// session-pool occupancy and recycling, per-subject meters, prefetch
+// waste, the local cache's hit rate, and the backing store's WAL/fsync
+// counters (pretty-print it with `sdsctl stats -gateway URL`).
+//
+// On SIGINT/SIGTERM the daemon drains gracefully: in-flight queries
+// finish and flush, new ones are refused, and the final snapshot is
+// logged before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/dsp"
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+	"repro/internal/secure"
+)
+
+func main() {
+	addr := flag.String("addr", ":7080", "wire listen address")
+	httpAddr := flag.String("http", ":7081", "HTTP listen address for /stats (empty: disabled)")
+	storeAddr := flag.String("store", "", "dspd address to mediate queries against")
+	storeDir := flag.String("store-dir", "", "local durable store directory (alternative to -store)")
+	conns := flag.Int("conns", dsp.DefaultPoolSize, "pooled connections to the dspd (with -store)")
+	cacheMB := flag.Int("cache-mb", 32, "local LRU block cache budget in MiB over the store (0 disables)")
+	prefetch := flag.Int("prefetch", 8, "pull-pipeline depth per session in blocks (0: serial)")
+	profile := flag.String("profile", "modern", "card profile: egate or modern")
+	keysFlag := flag.String("keys", "", "document key table: docID=seed,docID=seed,...")
+	autoKeys := flag.Bool("auto-keys", false, "derive every document key as KeyFromSeed(docID) (demo convention)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted at once across all subjects (0: 2×GOMAXPROCS)")
+	sessionsPer := flag.Int("sessions-per-subject", 0, "pooled sessions per subject (0: default)")
+	maxSubjects := flag.Int("max-subjects", 0, "distinct subjects admitted (0: unlimited)")
+	subjectRate := flag.Float64("subject-rate", 0, "per-subject queries/second (0: unlimited)")
+	subjectBurst := flag.Int("subject-burst", 0, "per-subject rate-limit burst (0: derived from the rate)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "retire sessions idle longer than this (0: keep warm forever)")
+	workers := flag.Int("workers", 0, "max concurrently executing wire requests (0: 4×GOMAXPROCS)")
+	depth := flag.Int("depth", 0, "per-connection pipeline depth (0: default)")
+	label := flag.String("label", "", "daemon label reported in /stats")
+	flag.Parse()
+
+	log.SetPrefix("gatewayd: ")
+	log.SetFlags(log.LstdFlags)
+
+	if (*storeAddr == "") == (*storeDir == "") {
+		log.Fatal("exactly one of -store ADDR or -store-dir DIR is required")
+	}
+	keys, err := keySource(*keysFlag, *autoKeys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Assemble the store lease: remote pool or local durable store, with
+	// an optional local read cache in front of either.
+	var (
+		store      dsp.Store
+		pool       *dsp.Pool
+		durable    *dsp.FileStore
+		closeStore func()
+	)
+	if *storeAddr != "" {
+		pool, err = dsp.DialPool(*storeAddr, *conns)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, closeStore = pool, func() { _ = pool.Close() }
+	} else {
+		durable, err = dsp.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store, closeStore = durable, func() { _ = durable.Close() }
+	}
+	defer closeStore()
+	var cache *dsp.Cache
+	if *cacheMB > 0 {
+		cache = dsp.NewCache(store, int64(*cacheMB)<<20)
+		store = cache
+	}
+
+	fl, err := fleet.New(fleet.Config{
+		Store:                 store,
+		Keys:                  keys,
+		Profile:               cardProfile(*profile),
+		MaxConcurrent:         *maxConcurrent,
+		MaxSessionsPerSubject: *sessionsPer,
+		MaxSubjects:           *maxSubjects,
+		SubjectRate:           *subjectRate,
+		SubjectBurst:          *subjectBurst,
+		IdleTimeout:           *idleTimeout,
+		Prefetch:              *prefetch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := gateway.NewServer(fl, gateway.ServerConfig{
+		Workers:       *workers,
+		PipelineDepth: *depth,
+		Label:         *label,
+	})
+	srv.Logf = log.Printf
+	if cache != nil {
+		srv.CacheStats = cache.Stats
+	}
+	if pool != nil {
+		srv.StoreStats = pool.StoreStats
+	} else if durable != nil {
+		srv.StoreStats = func() (*dsp.ServerStats, error) {
+			st := dsp.ServerStats{}
+			if ids, err := durable.ListDocuments(); err == nil {
+				st.Documents = len(ids)
+			}
+			ds := durable.Stats()
+			st.Durable = &ds
+			return &st, nil
+		}
+	}
+
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", srv.StatsHandler())
+		httpSrv = &http.Server{Addr: *httpAddr, Handler: mux}
+		go func() {
+			if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("http: %v", err)
+			}
+		}()
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+	backing := *storeAddr
+	if backing == "" {
+		backing = *storeDir + " (local durable)"
+	}
+	log.Printf("serving the card-fleet gateway on %s (store %s, stats %s)", *addr, backing, orNone(*httpAddr))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("%v, draining", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}
+
+	// Drained: log the final snapshot while the fleet is still readable,
+	// then bring the fleet and the HTTP listener down.
+	snap := srv.Snapshot()
+	log.Printf("served %d queries over %d wire sessions; pool: %d subjects, %d recycles, %d retires, %d reaped",
+		snap.Queries, snap.WireSessions, snap.Pool.Subjects, snap.Pool.Recycles, snap.Pool.Retires, snap.Pool.Reaped)
+	if snap.Cache != nil {
+		log.Printf("cache: %.1f%% hit rate (%d hits / %d misses)", 100*snap.CacheHitRate, snap.Cache.Hits, snap.Cache.Misses)
+	}
+	fl.Close()
+	if httpSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = httpSrv.Shutdown(ctx)
+		cancel()
+	}
+}
+
+// keySource builds the fleet's key channel from the flags.
+func keySource(table string, auto bool) (fleet.KeySource, error) {
+	if auto && table != "" {
+		return nil, fmt.Errorf("-keys and -auto-keys are mutually exclusive")
+	}
+	if auto {
+		return func(docID string) (secure.DocKey, error) {
+			return secure.KeyFromSeed(docID), nil
+		}, nil
+	}
+	if table == "" {
+		return nil, fmt.Errorf("a key source is required: -keys doc=seed,... or -auto-keys")
+	}
+	keys := make(map[string]secure.DocKey)
+	for _, pair := range strings.Split(table, ",") {
+		doc, seed, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || doc == "" || seed == "" {
+			return nil, fmt.Errorf("bad -keys entry %q (want docID=seed)", pair)
+		}
+		keys[doc] = secure.KeyFromSeed(seed)
+	}
+	return fleet.FixedKeys(keys), nil
+}
+
+func cardProfile(name string) card.Profile {
+	switch name {
+	case "egate":
+		return card.EGate
+	case "modern":
+		return card.Modern
+	default:
+		log.Fatalf("unknown profile %q", name)
+		return card.Profile{}
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "disabled"
+	}
+	return s
+}

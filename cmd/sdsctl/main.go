@@ -14,17 +14,26 @@
 //	grant      -doc ID -seed SEED -rules FILE  seal & upload a rule set
 //	query      -doc ID -seed SEED -subject S [-query XPATH] [-noskip] [-prefetch K]
 //	ls                                         list stored documents
+//	stats      [-gateway URL]                  pretty-print a gatewayd /stats
+//	                                           snapshot, or (with the global
+//	                                           -store ADDR) a dspd store snapshot
 //
 // The document key is derived from -seed (a stand-in for the PKI
 // exchange, which examples/collaborative demonstrates in full).
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	"net/url"
 	"os"
+	"strings"
 
 	"repro/internal/accessrule"
 	"repro/internal/card"
@@ -54,11 +63,19 @@ func main() {
 		log.Fatal("missing command (publish, republish, grant, query, ls)")
 	}
 
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+
+	// stats talks to running daemons, never the local state directory, so
+	// it is handled before a store is opened (or locked).
+	if cmd == "stats" {
+		runStats(args, *storeAddr, *conns)
+		return
+	}
+
 	store, closeStore := openStore(*storeAddr, *conns)
 	defer closeStore()
 
-	cmd := flag.Arg(0)
-	args := flag.Args()[1:]
 	switch cmd {
 	case "publish":
 		fs := flag.NewFlagSet("publish", flag.ExitOnError)
@@ -195,6 +212,70 @@ func main() {
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
+}
+
+// runStats fetches and pretty-prints an observability snapshot: a
+// gatewayd's /stats endpoint (-gateway URL) or a dspd's store stats
+// (the global -store ADDR). With both unset it explains itself.
+func runStats(args []string, storeAddr string, conns int) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	gatewayURL := fs.String("gateway", "", "gatewayd stats URL (e.g. http://localhost:7081/stats)")
+	_ = fs.Parse(args)
+
+	switch {
+	case *gatewayURL != "":
+		u := *gatewayURL
+		if !strings.Contains(u, "://") {
+			u = "http://" + u
+		}
+		if parsed, err := url.Parse(u); err == nil && parsed.Path == "" {
+			u += "/stats"
+		}
+		resp, err := http.Get(u)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s: %s: %s", u, resp.Status, body)
+		}
+		printJSON(body)
+
+	case storeAddr != "":
+		client, err := dsp.Dial(storeAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer client.Close()
+		st, err := client.StoreStats()
+		if err != nil {
+			log.Fatal(err)
+		}
+		js, err := json.Marshal(st)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printJSON(js)
+
+	default:
+		log.Fatal("stats needs a target: -gateway URL (gatewayd) or the global -store ADDR (dspd)")
+	}
+}
+
+// printJSON re-indents and prints a JSON document.
+func printJSON(body []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, body, "", "  "); err != nil {
+		// Not JSON? Show it anyway — a stats command must not hide what
+		// the server actually said.
+		fmt.Printf("%s\n", body)
+		return
+	}
+	fmt.Println(buf.String())
 }
 
 func cardProfile(name string) card.Profile {

@@ -7,7 +7,7 @@
 // All experiments are deterministic (seeded workloads, simulated card
 // time); wall-clock numbers appear only where explicitly labelled.
 //
-// The system-path experiments (E9-E13) additionally record metrics into
+// The system-path experiments (E9-E14) additionally record metrics into
 // a Recorder, from which cmd/sdsbench serializes the machine-readable
 // sds-bench-result/v1 files that track the repo's perf trajectory
 // (BENCH_<pr>.json at the root) and gate CI via Compare. The gated vs
@@ -103,7 +103,7 @@ type Experiment struct {
 }
 
 // tablesOnly adapts a runner that has no metrics to record (E1–E8
-// predate the perf-trajectory contract; E9–E13 are the tracked
+// predate the perf-trajectory contract; E9–E14 are the tracked
 // hot-path experiments).
 func tablesOnly(run func() []*Table) func(*Recorder) []*Table {
 	return func(*Recorder) []*Table { return run() }
@@ -125,5 +125,6 @@ func All() []Experiment {
 		{"E11", "delta re-publish vs full re-publish", E11DeltaRepublish},
 		{"E12", "durable WAL store: throughput, write amplification, recovery", E12DurableStore},
 		{"E13", "segmented durable tier: parallel commits, background checkpoints, parallel recovery", E13SegmentedStore},
+		{"E14", "session-pooled gateway daemon vs in-process fleet", E14GatewayDaemon},
 	}
 }

@@ -99,7 +99,7 @@ func TestExperimentsSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment suite is slow")
 	}
-	tracked := map[string]bool{"E9": true, "E10": true, "E11": true, "E12": true, "E13": true}
+	tracked := map[string]bool{"E9": true, "E10": true, "E11": true, "E12": true, "E13": true, "E14": true}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {

@@ -1,0 +1,259 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/card"
+	"repro/internal/docenc"
+	"repro/internal/dsp"
+	"repro/internal/fleet"
+	"repro/internal/gateway"
+	"repro/internal/proxy"
+	"repro/internal/secure"
+	"repro/internal/workload"
+)
+
+// E14 measures the session-pooled gateway daemon: the deployment story
+// where hundreds of distinct subjects reach the store through gatewayd's
+// wire protocol instead of linking the fleet in-process. Two questions:
+// what the extra wire hop costs (in-process fleet.Gateway vs gatewayd
+// over loopback TCP, same fleet configuration behind both), and whether
+// session pooling actually carries the load (every query after a
+// subject's first should ride a recycled card session, not a fresh
+// provision).
+//
+// Wall-clock by construction, like E9/E10; the workload is seeded.
+
+const (
+	e14Doc         = "e14-folder"
+	e14MaxSubjects = 64
+)
+
+// e14Rig is a loopback DSP with the E14 document and one granted rule
+// set per distinct subject (cycling the E10 access profiles).
+type e14Rig struct {
+	addr string
+	key  secure.DocKey
+	srv  *dsp.Server
+}
+
+func e14Subject(i int) string { return fmt.Sprintf("subj-%02d", i) }
+
+func newE14Rig() (*e14Rig, error) {
+	store := dsp.NewMemStore()
+	doc := workload.MedicalFolder(workload.MedicalConfig{Seed: 1400, Patients: 10, VisitsPerPatient: 2})
+	r := &e14Rig{key: secure.KeyFromSeed(e14Doc)}
+	pub := &proxy.Publisher{Store: store}
+	if _, err := pub.PublishDocument(doc, docenc.EncodeOptions{
+		DocID: e14Doc, Key: r.key, BlockPlain: 256, MinSkipBytes: 32,
+	}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < e14MaxSubjects; i++ {
+		rs := workload.MustParseRules(e10Subjects[i%len(e10Subjects)].rules)
+		rs.Subject = e14Subject(i)
+		rs.DocID = e14Doc
+		if err := pub.GrantRules(r.key, rs); err != nil {
+			return nil, err
+		}
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	r.addr = l.Addr().String()
+	r.srv = dsp.NewServer(dsp.NewCache(store, 32<<20))
+	go func() { _ = r.srv.Serve(l) }()
+	return r, nil
+}
+
+func (r *e14Rig) close() { _ = r.srv.Close() }
+
+// fleet dials a fresh store pool and builds the fleet both arms share
+// the configuration of.
+func (r *e14Rig) fleet(conns int) (*fleet.Gateway, *dsp.Pool, error) {
+	pool, err := dsp.DialPool(r.addr, conns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fl, err := fleet.New(fleet.Config{
+		Store:   pool,
+		Keys:    fleet.FixedKeys(map[string]secure.DocKey{e14Doc: r.key}),
+		Profile: card.Modern,
+	})
+	if err != nil {
+		pool.Close()
+		return nil, nil, err
+	}
+	return fl, pool, nil
+}
+
+// e14Run is one arm's measurement: aggregate q/s plus sorted latencies.
+type e14Run struct {
+	qps  float64
+	lats []time.Duration
+}
+
+// hammerInproc drives `subjects` concurrent tenants straight into the
+// in-process fleet.
+func hammerInproc(fl *fleet.Gateway, subjects, passes int) (e14Run, error) {
+	return e14Hammer(subjects, passes, func(i, _ int) error {
+		_, err := fl.Query(e14Subject(i), e14Doc, "")
+		return err
+	})
+}
+
+// hammerWire drives the same tenants through a gatewayd over loopback
+// TCP: one connection and wire session per tenant, held for its passes
+// (the churn cost itself is covered by the gateway package's tests; the
+// benchmark measures steady-state query throughput).
+func hammerWire(addr string, subjects, passes int) (e14Run, error) {
+	sessions := make([]*gateway.Session, subjects)
+	clients := make([]*gateway.Client, subjects)
+	defer func() {
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for i := range sessions {
+		c, err := gateway.Dial(addr)
+		if err != nil {
+			return e14Run{}, err
+		}
+		clients[i] = c
+		if sessions[i], err = c.Open(e14Subject(i)); err != nil {
+			return e14Run{}, err
+		}
+	}
+	return e14Hammer(subjects, passes, func(i, _ int) error {
+		_, err := sessions[i].Query(e14Doc, "")
+		return err
+	})
+}
+
+// e14Hammer runs the concurrent query loop shared by both arms and
+// reports aggregate throughput plus sorted per-query latencies.
+func e14Hammer(subjects, passes int, query func(subject, pass int) error) (e14Run, error) {
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		firstE error
+	)
+	lats := make([]time.Duration, subjects*passes)
+	start := time.Now()
+	for i := 0; i < subjects; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for p := 0; p < passes; p++ {
+				qStart := time.Now()
+				if err := query(i, p); err != nil {
+					mu.Lock()
+					if firstE == nil {
+						firstE = fmt.Errorf("subject %d: %w", i, err)
+					}
+					mu.Unlock()
+					return
+				}
+				lats[i*passes+p] = time.Since(qStart)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstE != nil {
+		return e14Run{}, firstE
+	}
+	elapsed := time.Since(start).Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return e14Run{qps: float64(subjects*passes) / elapsed, lats: lats}, nil
+}
+
+// E14GatewayDaemon compares the in-process card-fleet gateway against
+// gatewayd over loopback TCP as distinct subjects grow. Recorded
+// metrics: both arms' queries/s and the daemon's p50/p99 latency
+// (informational — wall clock), and the session-reuse ratio
+// recycles/queries (gated — with pooling working, every query after a
+// subject's first provision rides a recycled session, so the ratio must
+// stay near 1).
+func E14GatewayDaemon(rec *Recorder) []*Table {
+	const passes = 4
+	rig, err := newE14Rig()
+	if err != nil {
+		panic(err)
+	}
+	defer rig.close()
+
+	t := &Table{
+		ID:    "E14",
+		Title: "session-pooled gateway daemon vs in-process fleet (loopback TCP)",
+		Columns: []string{"subjects", "in-process q/s", "gatewayd q/s", "wire cost",
+			"p50 ms", "p99 ms", "session reuse"},
+		Notes: []string{
+			"both arms run the same fleet configuration; gatewayd adds the length-prefixed wire protocol",
+			"session reuse = recycles/queries on the daemon's pool (1.0 = every query rode a pooled card)",
+			"wall-clock measurement (real network servers); workload is seeded",
+		},
+	}
+
+	for _, subjects := range []int{4, 16, 64} {
+		// In-process arm.
+		fl, pool, err := rig.fleet(subjects)
+		if err != nil {
+			panic(err)
+		}
+		inproc, err := hammerInproc(fl, subjects, passes)
+		if err != nil {
+			panic(err)
+		}
+		fl.Close()
+		pool.Close()
+
+		// Daemon arm: same fleet config behind a gateway.Server.
+		fl, pool, err = rig.fleet(subjects)
+		if err != nil {
+			panic(err)
+		}
+		srv := gateway.NewServer(fl, gateway.ServerConfig{Label: "e14"})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			panic(err)
+		}
+		go func() { _ = srv.Serve(l) }()
+		wire, err := hammerWire(l.Addr().String(), subjects, passes)
+		if err != nil {
+			panic(err)
+		}
+		ps := fl.PoolStats()
+		if err := srv.Close(); err != nil {
+			panic(err)
+		}
+		fl.Close()
+		pool.Close()
+
+		reuse := float64(ps.Recycles) / float64(ps.Queries)
+		rec.Record(fmt.Sprintf("inproc_qps_subjects%d", subjects), "q/s", inproc.qps)
+		rec.Record(fmt.Sprintf("gatewayd_qps_subjects%d", subjects), "q/s", wire.qps)
+		rec.Record(fmt.Sprintf("gatewayd_p50_subjects%d", subjects), "ms",
+			float64(pctile(wire.lats, 50))/float64(time.Millisecond))
+		rec.Record(fmt.Sprintf("gatewayd_p99_subjects%d", subjects), "ms",
+			float64(pctile(wire.lats, 99))/float64(time.Millisecond))
+		rec.RecordHigher(fmt.Sprintf("session_reuse_subjects%d", subjects), "ratio", reuse)
+
+		t.AddRow(
+			fmt.Sprintf("%d", subjects),
+			fmt.Sprintf("%.1f", inproc.qps),
+			fmt.Sprintf("%.1f", wire.qps),
+			pct(inproc.qps-wire.qps, inproc.qps),
+			ms(pctile(wire.lats, 50)),
+			ms(pctile(wire.lats, 99)),
+			fmt.Sprintf("%.2f", reuse),
+		)
+	}
+	return []*Table{t}
+}

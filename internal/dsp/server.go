@@ -1,6 +1,7 @@
 package dsp
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -44,6 +45,11 @@ type Server struct {
 	cfg   ServerConfig
 	// Logf, when set, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
+	// Stats, when set, serves opStoreStats requests: the daemon wires it
+	// to the cache and durable tiers it assembled around the store. Set
+	// it before Serve; a server without the hook answers with a minimal
+	// snapshot (document count only).
+	Stats func() ServerStats
 
 	workers chan struct{} // worker-pool slots
 
@@ -388,6 +394,19 @@ func (s *Server) dispatch(req []byte) *response {
 			return resp.setErr(err)
 		}
 		resp.appendRaw(sealed)
+		return resp
+	case opStoreStats:
+		var st ServerStats
+		if s.Stats != nil {
+			st = s.Stats()
+		} else if ids, err := s.store.ListDocuments(); err == nil {
+			st.Documents = len(ids)
+		}
+		js, err := json.Marshal(st)
+		if err != nil {
+			return resp.setErr(err)
+		}
+		resp.appendBody(js)
 		return resp
 	case opList:
 		ids, err := s.store.ListDocuments()

@@ -29,6 +29,10 @@ const (
 	opPutBlocks    = 9
 	opCommitUpdate = 10
 	opAbortUpdate  = 11
+	// opStoreStats asks the server for its observability snapshot
+	// (documents held, cache hit rates, durable-tier WAL/fsync counters);
+	// the response body is a JSON ServerStats.
+	opStoreStats = 12
 )
 
 // maxBatchBlocks bounds one opReadBlocks run: large enough for any skip

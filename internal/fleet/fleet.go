@@ -2,25 +2,26 @@
 // trusted tier the paper's architecture implies but the demonstration
 // never built. The deployment model is "one SOE per client, untrusted
 // store shared by all" (Section 3); a portal serving many subjects
-// therefore fronts a fleet of Secure Operating Environments — one
-// provisioned card per subject — behind a single admission point.
+// therefore fronts a fleet of Secure Operating Environments behind a
+// single admission point.
 //
-// The Gateway owns that fleet. It admits concurrent Query calls under a
-// bounded concurrency budget, provisions cards on demand (document key
-// from the deployment's key source, sealed rule set pulled from the
-// untrusted store and installed under the card's own version check),
-// caches the provisioned card per subject, and aggregates per-subject
-// work meters. Each card models a single-threaded applet, so the
-// gateway enforces single-session ownership: queries for one subject
-// serialize on that subject's card while different subjects proceed in
-// parallel.
+// The Gateway owns that fleet as a bounded per-subject session pool.
+// Each pooled session is a proxy.Session — a provisioned card plus the
+// prefetch pipeline — checked out for one query, recycled with its
+// expensive state intact (document keys, amortized cipher contexts,
+// sealed rule sets), and retired on failure or after sitting idle.
+// Admission, per-subject session bounds, rate limits and quotas are
+// pool policy; rule refreshes propagate version-checked at checkout so
+// a revocation reaches every session of a subject without a broadcast.
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/card"
 	"repro/internal/dsp"
@@ -46,6 +47,23 @@ func FixedKeys(keys map[string]secure.DocKey) KeySource {
 	}
 }
 
+// DefaultSessionsPerSubject bounds one subject's pooled sessions when
+// the config does not say otherwise: enough to overlap a few concurrent
+// queries per subject, small enough that a thousand-subject fleet does
+// not hold a thousand×N warm cards.
+const DefaultSessionsPerSubject = 4
+
+// ErrRateLimited is returned when a subject exceeds its configured query
+// rate; the caller should back off and retry.
+var ErrRateLimited = errors.New("fleet: subject rate limit exceeded")
+
+// ErrTooManySubjects is returned when admitting a new subject would
+// exceed Config.MaxSubjects.
+var ErrTooManySubjects = errors.New("fleet: subject quota exceeded")
+
+// ErrClosed is returned for queries against a closed (draining) gateway.
+var ErrClosed = errors.New("fleet: gateway is closed")
+
 // Config assembles a Gateway.
 type Config struct {
 	// Store is the shared untrusted DSP tier (a MemStore, Cache, Client
@@ -60,7 +78,25 @@ type Config struct {
 	// MaxConcurrent bounds the queries admitted at once across all
 	// subjects; <= 0 selects 2×GOMAXPROCS.
 	MaxConcurrent int
-	// Prefetch is the terminal pipeline depth used for fleet queries
+	// MaxSessionsPerSubject bounds one subject's pooled sessions; <= 0
+	// selects DefaultSessionsPerSubject. A subject's queries beyond the
+	// bound wait for a recycled session instead of growing the pool.
+	MaxSessionsPerSubject int
+	// MaxSubjects bounds the distinct subjects the fleet will hold
+	// sessions for; 0 means unlimited. Excess subjects are refused with
+	// ErrTooManySubjects (admission control, not queueing: an unbounded
+	// subject set is a memory commitment, not a latency one).
+	MaxSubjects int
+	// SubjectRate limits each subject to this many queries per second
+	// (token bucket, burst SubjectBurst); 0 disables rate limiting.
+	SubjectRate float64
+	// SubjectBurst is the token-bucket depth when SubjectRate is set;
+	// <= 0 selects max(1, ceil(SubjectRate)).
+	SubjectBurst int
+	// IdleTimeout retires pooled sessions idle longer than this; 0
+	// disables the background reaper (ReapIdle can still be called).
+	IdleTimeout time.Duration
+	// Prefetch is the pull-pipeline depth used for fleet sessions
 	// (see proxy.Terminal.Prefetch); 0 keeps the serial pull path.
 	Prefetch int
 	// Options passes ablation switches through to every session.
@@ -68,25 +104,59 @@ type Config struct {
 }
 
 // Gateway serves concurrent pull queries for many subjects over one
-// shared store.
+// shared store, multiplexing each subject's queries over a bounded pool
+// of recycled sessions.
 type Gateway struct {
-	cfg    Config
-	admit  chan struct{}
+	cfg   Config
+	admit chan struct{}
+
 	mu     sync.Mutex
-	cards  map[string]*tenant
+	pools  map[string]*subjectPool
 	closed bool
+
+	inflight sync.WaitGroup
+	reapStop chan struct{}
+	reapDone chan struct{}
 }
 
-// tenant is one subject's slot in the fleet: a provisioned card, the
-// session lock that enforces single-session ownership, and the
-// aggregated meters.
-type tenant struct {
-	mu   sync.Mutex // serializes sessions and provisioning on the card
+// pooledSession is one checkout unit: a proxy.Session (card + pipeline)
+// plus the provisioning bookkeeping that decides what work a checkout
+// still owes before the query can run.
+type pooledSession struct {
+	sess *proxy.Session
 	card *card.Card
-
-	// provisioned records the documents this card holds key+rules for.
+	// provisioned records the documents this session's card holds
+	// key+rules for.
 	provisioned map[string]bool
+	// ruleEpochs records, per document, the subject pool's refresh epoch
+	// at which this session last installed rules. A session behind the
+	// pool's epoch re-pulls the sealed rule set at checkout — how a
+	// revocation reaches sessions that were busy when it landed.
+	ruleEpochs map[string]uint64
+	idleSince  time.Time
+}
 
+// subjectPool is one subject's slot in the fleet: the bounded session
+// pool, the shared provisioning/versioning records every session
+// synchronizes against, and the aggregated meters. All mutable state is
+// guarded by mu; stats are written only inside single critical
+// sections, so a snapshot under mu can never tear.
+type subjectPool struct {
+	subject string
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals a session returned to idle
+	idle []*pooledSession
+	all  []*pooledSession // every live session, idle and checked out
+	live int
+
+	// provisionedDocs: documents at least one session was provisioned
+	// for — the set RefreshRules is willing to refresh (a refresh is not
+	// an implicit key grant).
+	provisionedDocs map[string]bool
+	// ruleEpochs is the subject's refresh clock per document, bumped by
+	// RefreshRules and by observed document-version bumps.
+	ruleEpochs map[string]uint64
 	// docVersions records, per document, the latest version a query of
 	// this subject was served from. A served version above the record
 	// means the document was re-published underneath the fleet: the
@@ -95,10 +165,17 @@ type tenant struct {
 	// content changes (Section 5's update model).
 	docVersions map[string]uint32
 
+	// Token bucket (SubjectRate/SubjectBurst).
+	tokens   float64
+	lastFill time.Time
+
 	stats SubjectStats
 }
 
-// SubjectStats aggregates one subject's fleet usage.
+// SubjectStats aggregates one subject's fleet usage. The snapshot
+// returned by Stats/SubjectStats is internally consistent: writers only
+// update it inside one critical section per event, readers copy it
+// under the same lock.
 type SubjectStats struct {
 	Subject string
 	Queries int64
@@ -112,6 +189,37 @@ type SubjectStats struct {
 	VersionRefreshes int64
 	// Meter is the summed card work across the subject's queries.
 	Meter card.Meter
+
+	// Pool telemetry.
+	SessionsLive int   // sessions held (idle + in use)
+	SessionsIdle int   // sessions parked and ready for checkout
+	Provisions   int64 // (session, doc) provisionings performed
+	Recycles     int64 // sessions returned to the pool after a query
+	Retires      int64 // sessions dropped after a failure
+	Reaped       int64 // sessions retired by idle reaping
+	Waits        int64 // checkouts that blocked on an exhausted pool
+	RateLimited  int64 // queries refused by the subject rate limit
+}
+
+// PoolStats aggregates the whole fleet's pool telemetry — what a
+// gateway daemon exports for observability.
+type PoolStats struct {
+	Subjects      int   `json:"subjects"`
+	SessionsLive  int   `json:"sessions_live"`
+	SessionsIdle  int   `json:"sessions_idle"`
+	SessionsInUse int   `json:"sessions_in_use"`
+	Provisions    int64 `json:"provisions"`
+	Recycles      int64 `json:"recycles"`
+	Retires       int64 `json:"retires"`
+	Reaped        int64 `json:"reaped"`
+	Waits         int64 `json:"waits"`
+	RateLimited   int64 `json:"rate_limited"`
+
+	Queries          int64 `json:"queries"`
+	Errors           int64 `json:"errors"`
+	BlocksFetched    int64 `json:"blocks_fetched"`
+	BlocksWasted     int64 `json:"blocks_wasted"`
+	VersionRefreshes int64 `json:"version_refreshes"`
 }
 
 // New builds a Gateway. Store and Keys are required.
@@ -128,201 +236,396 @@ func New(cfg Config) (*Gateway, error) {
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
 	}
-	return &Gateway{
+	if cfg.MaxSessionsPerSubject <= 0 {
+		cfg.MaxSessionsPerSubject = DefaultSessionsPerSubject
+	}
+	if cfg.SubjectRate > 0 && cfg.SubjectBurst <= 0 {
+		cfg.SubjectBurst = int(cfg.SubjectRate)
+		if cfg.SubjectBurst < 1 {
+			cfg.SubjectBurst = 1
+		}
+	}
+	g := &Gateway{
 		cfg:   cfg,
 		admit: make(chan struct{}, cfg.MaxConcurrent),
-		cards: make(map[string]*tenant),
-	}, nil
+		pools: make(map[string]*subjectPool),
+	}
+	if cfg.IdleTimeout > 0 {
+		g.reapStop = make(chan struct{})
+		g.reapDone = make(chan struct{})
+		go g.reapLoop()
+	}
+	return g, nil
 }
 
-// Query runs one pull query for subject over doc, provisioning the
-// subject's card on first use. Calls for distinct subjects run in
-// parallel up to the admission bound; calls for one subject serialize
-// on that subject's card.
+// Query runs one pull query for subject over doc, checking a session out
+// of the subject's pool (provisioning one on first use). Calls for
+// distinct subjects run in parallel up to the admission bound; calls for
+// one subject run in parallel up to the subject's session bound and
+// wait for a recycled session beyond it.
 func (g *Gateway) Query(subject, docID, query string) (*proxy.Result, error) {
-	tn, err := g.tenant(subject)
+	sp, err := g.enter(subject)
 	if err != nil {
 		return nil, err
 	}
-	// Take the card before the admission slot: queries queued behind a
-	// hot subject's single card must not hold admission capacity, or one
-	// busy tenant would serialize the whole gateway.
-	tn.mu.Lock()
-	defer tn.mu.Unlock()
-	g.admit <- struct{}{}
-	defer func() { <-g.admit }()
+	defer g.inflight.Done()
 
-	if err := g.provisionLocked(tn, subject, docID); err != nil {
-		tn.stats.Errors++
+	if err := sp.admitRate(g.cfg); err != nil {
 		return nil, err
 	}
-	term := &proxy.Terminal{
-		Store:    g.cfg.Store,
-		Card:     tn.card,
-		Options:  g.cfg.Options,
-		Prefetch: g.cfg.Prefetch,
-	}
-	res, err := term.Query(subject, docID, query)
+
+	ses, err := sp.checkout(g)
 	if err != nil {
-		tn.stats.Errors++
 		return nil, err
 	}
-	tn.stats.Queries++
-	tn.stats.BlocksFetched += int64(res.Stats.BlocksFetched)
-	tn.stats.BlocksWasted += int64(res.Stats.BlocksWasted)
-	tn.stats.Meter.Add(res.Stats.Meter)
-	g.noteVersionLocked(tn, subject, docID, res.Version)
+
+	// Take the admission slot only after owning a session: queries queued
+	// behind a hot subject's exhausted pool must not hold admission
+	// capacity, or one busy tenant would serialize the whole gateway.
+	g.admit <- struct{}{}
+	res, qerr := g.runOn(sp, ses, subject, docID, query)
+	<-g.admit
+
+	if qerr != nil {
+		sp.mu.Lock()
+		sp.stats.Errors++
+		sp.retireLocked(ses)
+		sp.mu.Unlock()
+		return nil, qerr
+	}
+
+	// One critical section per successful query: stats, version-bump
+	// detection, recycle. A torn read (BlocksWasted > BlocksFetched,
+	// half-added meters) is impossible because this is the only place
+	// query stats are written.
+	sp.mu.Lock()
+	sp.stats.Queries++
+	sp.stats.BlocksFetched += int64(res.Stats.BlocksFetched)
+	sp.stats.BlocksWasted += int64(res.Stats.BlocksWasted)
+	sp.stats.Meter.Add(res.Stats.Meter)
+	bumped := sp.noteVersionLocked(docID, res.Version)
+	sp.mu.Unlock()
+
+	if bumped {
+		// The document moved underneath the fleet: re-pull this subject's
+		// rules the way RefreshRules does, driven by the document instead
+		// of the operator. The session is still exclusively ours, so the
+		// install needs no lock; other sessions catch up at checkout via
+		// the epoch bump noteVersionLocked performed. A failed refresh is
+		// counted but does not fail the query that observed the bump (the
+		// card keeps filtering under its installed rules, which its own
+		// version check guarantees are not rolled back).
+		err := ses.sess.InstallRules(subject, docID)
+		sp.mu.Lock()
+		if err != nil {
+			sp.stats.Errors++
+		} else {
+			sp.stats.VersionRefreshes++
+			ses.ruleEpochs[docID] = sp.ruleEpochs[docID]
+		}
+		sp.mu.Unlock()
+	}
+
+	sp.recycle(ses)
 	return res, nil
 }
 
-// noteVersionLocked records the version a query was served from. On a
-// bump past the recorded version the subject's sealed rule set is
-// re-pulled and re-installed — the same path RefreshRules takes, driven
-// by the document instead of the operator. The caller holds the tenant
-// lock. A failed refresh is counted but does not fail the query that
-// observed the bump (the card keeps filtering under its installed rules,
-// which the card's own version check guarantees are not rolled back).
-func (g *Gateway) noteVersionLocked(tn *tenant, subject, docID string, version uint32) {
-	last, seen := tn.docVersions[docID]
+// runOn provisions the checked-out session for docID if needed, catches
+// it up with any rule refresh it missed, and runs the query.
+func (g *Gateway) runOn(sp *subjectPool, ses *pooledSession, subject, docID, query string) (*proxy.Result, error) {
+	sp.mu.Lock()
+	epoch := sp.ruleEpochs[docID]
+	sp.mu.Unlock()
+
+	if !ses.provisioned[docID] {
+		// The session is exclusively ours; provisioning touches only its
+		// card, so no lock is held across the store round trips.
+		key, err := g.cfg.Keys(docID)
+		if err != nil {
+			return nil, err
+		}
+		if err := ses.sess.Provision(docID, key); err != nil {
+			return nil, err
+		}
+		if err := ses.sess.InstallRules(subject, docID); err != nil {
+			return nil, err
+		}
+		ses.provisioned[docID] = true
+		ses.ruleEpochs[docID] = epoch
+		sp.mu.Lock()
+		sp.provisionedDocs[docID] = true
+		sp.stats.Provisions++
+		sp.mu.Unlock()
+	} else if ses.ruleEpochs[docID] < epoch {
+		// A refresh landed while this session was busy or parked:
+		// re-install before serving. Failure is non-fatal — the card
+		// keeps filtering under the rules it has (never rolled back).
+		if err := ses.sess.InstallRules(subject, docID); err != nil {
+			sp.mu.Lock()
+			sp.stats.Errors++
+			sp.mu.Unlock()
+		} else {
+			ses.ruleEpochs[docID] = epoch
+		}
+	}
+	return ses.sess.Query(subject, docID, query)
+}
+
+// enter finds or creates the subject's pool and registers the query as
+// in flight — one atomic step under g.mu, so Close cannot slip between
+// the closed check and the WaitGroup add.
+func (g *Gateway) enter(subject string) (*subjectPool, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return nil, ErrClosed
+	}
+	sp, ok := g.pools[subject]
+	if !ok {
+		if g.cfg.MaxSubjects > 0 && len(g.pools) >= g.cfg.MaxSubjects {
+			return nil, fmt.Errorf("%w (%d subjects held, subject %q refused)", ErrTooManySubjects, len(g.pools), subject)
+		}
+		sp = &subjectPool{
+			subject:         subject,
+			provisionedDocs: make(map[string]bool),
+			ruleEpochs:      make(map[string]uint64),
+			docVersions:     make(map[string]uint32),
+			tokens:          float64(g.cfg.SubjectBurst),
+			lastFill:        time.Now(),
+		}
+		sp.cond = sync.NewCond(&sp.mu)
+		sp.stats.Subject = subject
+		g.pools[subject] = sp
+	}
+	g.inflight.Add(1)
+	return sp, nil
+}
+
+// admitRate charges the subject's token bucket; a drained bucket refuses
+// instead of queueing (the caller is told to back off, the pool is not
+// used as a queue for over-limit traffic).
+func (sp *subjectPool) admitRate(cfg Config) error {
+	if cfg.SubjectRate <= 0 {
+		return nil
+	}
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	now := time.Now()
+	sp.tokens += now.Sub(sp.lastFill).Seconds() * cfg.SubjectRate
+	if max := float64(cfg.SubjectBurst); sp.tokens > max {
+		sp.tokens = max
+	}
+	sp.lastFill = now
+	if sp.tokens < 1 {
+		sp.stats.RateLimited++
+		return ErrRateLimited
+	}
+	sp.tokens--
+	return nil
+}
+
+// checkout hands the caller an exclusively-owned session: a recycled
+// idle one (LIFO, keeping the warm set small), a fresh one while the
+// subject is under its bound, or — pool exhausted — the next recycled
+// session, waited for on the pool's condition.
+func (sp *subjectPool) checkout(g *Gateway) (*pooledSession, error) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	waited := false
+	for {
+		if n := len(sp.idle); n > 0 {
+			ses := sp.idle[n-1]
+			sp.idle = sp.idle[:n-1]
+			return ses, nil
+		}
+		if sp.live < g.cfg.MaxSessionsPerSubject {
+			c := card.New(g.cfg.Profile)
+			ses := &pooledSession{
+				sess:        proxy.NewSession(g.cfg.Store, c, g.cfg.Options, g.cfg.Prefetch),
+				card:        c,
+				provisioned: make(map[string]bool),
+				ruleEpochs:  make(map[string]uint64),
+			}
+			sp.live++
+			sp.all = append(sp.all, ses)
+			return ses, nil
+		}
+		if g.isClosed() {
+			return nil, ErrClosed
+		}
+		if !waited {
+			waited = true
+			sp.stats.Waits++
+		}
+		sp.cond.Wait()
+	}
+}
+
+func (g *Gateway) isClosed() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.closed
+}
+
+// recycle parks a session for the next checkout. On a draining gateway
+// the session is retired instead, so Close leaves no warm cards behind.
+func (sp *subjectPool) recycle(ses *pooledSession) {
+	if err := ses.sess.Reset(); err != nil {
+		sp.mu.Lock()
+		sp.retireLocked(ses)
+		sp.mu.Unlock()
+		return
+	}
+	ses.idleSince = time.Now()
+	sp.mu.Lock()
+	sp.idle = append(sp.idle, ses)
+	sp.stats.Recycles++
+	sp.mu.Unlock()
+	sp.cond.Signal()
+}
+
+// dropLocked removes a session from the pool without classifying the
+// drop (caller holds sp.mu and accounts it as a retire, reap, or
+// shutdown drop).
+func (sp *subjectPool) dropLocked(ses *pooledSession) {
+	ses.sess.Close()
+	sp.live--
+	for i, s := range sp.all {
+		if s == ses {
+			sp.all = append(sp.all[:i], sp.all[i+1:]...)
+			break
+		}
+	}
+	// A waiter can now create a replacement session.
+	sp.cond.Signal()
+}
+
+// retireLocked drops a failed session (caller holds sp.mu).
+func (sp *subjectPool) retireLocked(ses *pooledSession) {
+	sp.dropLocked(ses)
+	sp.stats.Retires++
+}
+
+// noteVersionLocked records the version a query was served from and
+// reports whether a rule refresh is owed. The caller holds sp.mu.
+func (sp *subjectPool) noteVersionLocked(docID string, version uint32) bool {
+	last, seen := sp.docVersions[docID]
 	if seen && version <= last {
 		// Never regress the record: a stale replica (or a malicious
 		// store) serving an older version must not prime a spurious
 		// "bump" on the next honestly-served query.
-		return
+		return false
 	}
-	tn.docVersions[docID] = version
+	sp.docVersions[docID] = version
 	if !seen {
-		return
+		return false
 	}
-	if err := g.installRulesLocked(tn, subject, docID); err != nil {
-		tn.stats.Errors++
-		return
-	}
-	tn.stats.VersionRefreshes++
-}
-
-// tenant returns (creating if needed) the subject's fleet slot.
-func (g *Gateway) tenant(subject string) (*tenant, error) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if g.closed {
-		return nil, fmt.Errorf("fleet: gateway is closed")
-	}
-	tn, ok := g.cards[subject]
-	if !ok {
-		tn = &tenant{
-			card:        card.New(g.cfg.Profile),
-			provisioned: make(map[string]bool),
-			docVersions: make(map[string]uint32),
-		}
-		tn.stats.Subject = subject
-		g.cards[subject] = tn
-	}
-	return tn, nil
+	// Claim the bump: the epoch advance sends every other session of the
+	// subject through the re-install path at its next checkout.
+	sp.ruleEpochs[docID]++
+	return true
 }
 
 // ObservedDocVersion reports the latest document version served to the
 // subject, -1 when the subject never queried the document.
 func (g *Gateway) ObservedDocVersion(subject, docID string) int64 {
 	g.mu.Lock()
-	tn, ok := g.cards[subject]
+	sp, ok := g.pools[subject]
 	g.mu.Unlock()
 	if !ok {
 		return -1
 	}
-	tn.mu.Lock()
-	defer tn.mu.Unlock()
-	v, seen := tn.docVersions[docID]
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	v, seen := sp.docVersions[docID]
 	if !seen {
 		return -1
 	}
 	return int64(v)
 }
 
-// provisionLocked installs the document key and the subject's sealed
-// rule set on the tenant's card, once per (subject, doc). The caller
-// holds the tenant lock.
-func (g *Gateway) provisionLocked(tn *tenant, subject, docID string) error {
-	if tn.provisioned[docID] {
-		return nil
-	}
-	key, err := g.cfg.Keys(docID)
-	if err != nil {
-		return err
-	}
-	if err := tn.card.PutKey(docID, key); err != nil {
-		return err
-	}
-	// Warm the card's amortized cipher state while the tenant lock is
-	// already held: every session this tenant runs against docID shares
-	// the one context (AES schedule + precomputed HMAC pads) instead of
-	// rebuilding it per query.
-	if _, err := tn.card.DecryptContext(docID); err != nil {
-		return err
-	}
-	if err := g.installRulesLocked(tn, subject, docID); err != nil {
-		return err
-	}
-	tn.provisioned[docID] = true
-	return nil
-}
-
-// installRulesLocked pulls the subject's sealed rule set from the store
-// and installs it; the card's version monotonicity rejects rollbacks, so
-// a malicious or stale store cannot downgrade rights that are already
-// provisioned.
-func (g *Gateway) installRulesLocked(tn *tenant, subject, docID string) error {
-	sealed, err := g.cfg.Store.RuleSet(docID, subject)
-	if err != nil {
-		return err
-	}
-	return tn.card.PutSealedRuleSet(docID, subject, sealed)
-}
-
 // RefreshRules re-pulls the subject's sealed rule set for doc — the
-// access-rights update protocol at fleet scale. The card accepts the
-// blob only if its version is not older than what is installed, so
-// refreshing is always safe to call. An unprovisioned (subject, doc)
-// pair refuses (a refresh is not an implicit grant of a key).
+// access-rights update protocol at fleet scale. Idle sessions are
+// refreshed immediately; checked-out sessions catch up at their next
+// checkout via the epoch bump. The card accepts the blob only if its
+// version is not older than what is installed, so refreshing is always
+// safe to call. An unprovisioned (subject, doc) pair refuses (a refresh
+// is not an implicit grant of a key).
 func (g *Gateway) RefreshRules(subject, docID string) error {
-	tn, err := g.tenant(subject)
-	if err != nil {
-		return err
-	}
-	tn.mu.Lock()
-	defer tn.mu.Unlock()
-	if !tn.provisioned[docID] {
+	g.mu.Lock()
+	sp, ok := g.pools[subject]
+	g.mu.Unlock()
+	if !ok {
 		return fmt.Errorf("fleet: subject %q is not provisioned for document %q", subject, docID)
 	}
-	return g.installRulesLocked(tn, subject, docID)
+
+	sp.mu.Lock()
+	if !sp.provisionedDocs[docID] {
+		sp.mu.Unlock()
+		return fmt.Errorf("fleet: subject %q is not provisioned for document %q", subject, docID)
+	}
+	sp.ruleEpochs[docID]++
+	epoch := sp.ruleEpochs[docID]
+	// Take the idle sessions out of the pool so the installs below run on
+	// exclusively-owned sessions without holding sp.mu across store I/O.
+	idle := sp.idle
+	sp.idle = nil
+	sp.mu.Unlock()
+
+	var firstErr error
+	for _, ses := range idle {
+		if err := ses.sess.InstallRules(subject, docID); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		ses.ruleEpochs[docID] = epoch
+	}
+
+	sp.mu.Lock()
+	sp.idle = append(sp.idle, idle...)
+	sp.mu.Unlock()
+	sp.cond.Broadcast()
+	return firstErr
 }
 
-// RuleVersion reports the rule-set version installed for (subject, doc),
-// -1 when the subject has no card or rules yet (freshness probes).
+// RuleVersion reports the newest rule-set version installed for
+// (subject, doc) across the subject's sessions, -1 when the subject has
+// no sessions or rules yet (freshness probes).
 func (g *Gateway) RuleVersion(subject, docID string) int64 {
 	g.mu.Lock()
-	tn, ok := g.cards[subject]
+	sp, ok := g.pools[subject]
 	g.mu.Unlock()
 	if !ok {
 		return -1
 	}
-	return tn.card.RuleVersion(subject, docID)
+	sp.mu.Lock()
+	sessions := append([]*pooledSession(nil), sp.all...)
+	sp.mu.Unlock()
+	best := int64(-1)
+	for _, ses := range sessions {
+		if v := ses.card.RuleVersion(subject, docID); v > best {
+			best = v
+		}
+	}
+	return best
 }
 
 // Stats snapshots every subject's aggregated usage, sorted by subject
-// for stable reporting.
+// for stable reporting. Each snapshot is taken in one pass under the
+// subject's lock, so it is internally consistent (no torn meters, never
+// BlocksWasted > BlocksFetched).
 func (g *Gateway) Stats() []SubjectStats {
 	g.mu.Lock()
-	tenants := make([]*tenant, 0, len(g.cards))
-	for _, tn := range g.cards {
-		tenants = append(tenants, tn)
+	pools := make([]*subjectPool, 0, len(g.pools))
+	for _, sp := range g.pools {
+		pools = append(pools, sp)
 	}
 	g.mu.Unlock()
-	out := make([]SubjectStats, 0, len(tenants))
-	for _, tn := range tenants {
-		tn.mu.Lock()
-		out = append(out, tn.stats)
-		tn.mu.Unlock()
+	out := make([]SubjectStats, 0, len(pools))
+	for _, sp := range pools {
+		out = append(out, sp.snapshot())
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
 	return out
@@ -332,27 +635,134 @@ func (g *Gateway) Stats() []SubjectStats {
 // the subject never queried).
 func (g *Gateway) SubjectStats(subject string) SubjectStats {
 	g.mu.Lock()
-	tn, ok := g.cards[subject]
+	sp, ok := g.pools[subject]
 	g.mu.Unlock()
 	if !ok {
 		return SubjectStats{Subject: subject}
 	}
-	tn.mu.Lock()
-	defer tn.mu.Unlock()
-	return tn.stats
+	return sp.snapshot()
 }
 
-// Subjects reports how many cards the fleet currently holds.
+// snapshot copies the stats in one critical section.
+func (sp *subjectPool) snapshot() SubjectStats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	st := sp.stats
+	st.SessionsLive = sp.live
+	st.SessionsIdle = len(sp.idle)
+	return st
+}
+
+// PoolStats aggregates pool telemetry across the whole fleet.
+func (g *Gateway) PoolStats() PoolStats {
+	var ps PoolStats
+	for _, st := range g.Stats() {
+		ps.Subjects++
+		ps.SessionsLive += st.SessionsLive
+		ps.SessionsIdle += st.SessionsIdle
+		ps.Provisions += st.Provisions
+		ps.Recycles += st.Recycles
+		ps.Retires += st.Retires
+		ps.Reaped += st.Reaped
+		ps.Waits += st.Waits
+		ps.RateLimited += st.RateLimited
+		ps.Queries += st.Queries
+		ps.Errors += st.Errors
+		ps.BlocksFetched += st.BlocksFetched
+		ps.BlocksWasted += st.BlocksWasted
+		ps.VersionRefreshes += st.VersionRefreshes
+	}
+	ps.SessionsInUse = ps.SessionsLive - ps.SessionsIdle
+	return ps
+}
+
+// Subjects reports how many session pools the fleet currently holds.
 func (g *Gateway) Subjects() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.cards)
+	return len(g.pools)
 }
 
-// Close drops the fleet. In-flight queries finish; new ones are refused.
+// ReapIdle retires sessions that have been idle longer than olderThan
+// and reports how many were dropped. The background reaper calls this
+// with Config.IdleTimeout; ReapIdle(0) empties every idle pool.
+func (g *Gateway) ReapIdle(olderThan time.Duration) int {
+	g.mu.Lock()
+	pools := make([]*subjectPool, 0, len(g.pools))
+	for _, sp := range g.pools {
+		pools = append(pools, sp)
+	}
+	g.mu.Unlock()
+
+	cutoff := time.Now().Add(-olderThan)
+	reaped := 0
+	for _, sp := range pools {
+		sp.mu.Lock()
+		keep := sp.idle[:0]
+		for _, ses := range sp.idle {
+			if ses.idleSince.After(cutoff) {
+				keep = append(keep, ses)
+				continue
+			}
+			sp.dropLocked(ses)
+			sp.stats.Reaped++
+			reaped++
+		}
+		sp.idle = keep
+		sp.mu.Unlock()
+	}
+	return reaped
+}
+
+// reapLoop is the background idle reaper (IdleTimeout > 0).
+func (g *Gateway) reapLoop() {
+	defer close(g.reapDone)
+	tick := time.NewTicker(g.cfg.IdleTimeout / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			g.ReapIdle(g.cfg.IdleTimeout)
+		case <-g.reapStop:
+			return
+		}
+	}
+}
+
+// Close drains the fleet: new queries are refused, in-flight queries
+// finish (their sessions are closed instead of recycled), and Close
+// returns once the last one has. The pools stay readable for stats, so
+// a daemon can log a final snapshot after draining.
 func (g *Gateway) Close() {
 	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
 	g.closed = true
-	g.cards = make(map[string]*tenant)
+	pools := make([]*subjectPool, 0, len(g.pools))
+	for _, sp := range g.pools {
+		pools = append(pools, sp)
+	}
 	g.mu.Unlock()
+
+	if g.reapStop != nil {
+		close(g.reapStop)
+		<-g.reapDone
+	}
+	// Wake checkout waiters so they observe the close and bail.
+	for _, sp := range pools {
+		sp.cond.Broadcast()
+	}
+	g.inflight.Wait()
+	// Every session is now idle (recycle on a closed gateway still
+	// parks; the drop below retires them all) or already retired.
+	for _, sp := range pools {
+		sp.mu.Lock()
+		for _, ses := range sp.idle {
+			sp.dropLocked(ses)
+		}
+		sp.idle = nil
+		sp.mu.Unlock()
+	}
 }

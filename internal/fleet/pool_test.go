@@ -1,0 +1,258 @@
+package fleet
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/proxy"
+)
+
+// TestGatewayStatsConsistencyUnderLoad is the snapshot-tearing
+// regression test: Stats/SubjectStats readers race a query hammer, and
+// every snapshot must be internally consistent. Two invariants hold in
+// any untorn snapshot: CryptoBytes == MACBytes (the card charges both
+// meters together, always with the same value) and BlocksWasted <=
+// BlocksFetched (waste is a subset of the fetch). A reader that
+// interleaves with a half-applied update breaks one of them. Run under
+// -race this also proves the locking discipline.
+func TestGatewayStatsConsistencyUnderLoad(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, proxy.DefaultPrefetch)
+	defer g.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errCh := make(chan error, 8)
+
+	check := func(st SubjectStats) bool {
+		if st.Meter.CryptoBytes != st.Meter.MACBytes {
+			t.Errorf("torn meter snapshot for %s: crypto=%d mac=%d",
+				st.Subject, st.Meter.CryptoBytes, st.Meter.MACBytes)
+			return false
+		}
+		if st.BlocksWasted > st.BlocksFetched {
+			t.Errorf("torn snapshot for %s: wasted=%d > fetched=%d",
+				st.Subject, st.BlocksWasted, st.BlocksFetched)
+			return false
+		}
+		if st.SessionsIdle > st.SessionsLive {
+			t.Errorf("torn pool snapshot for %s: idle=%d > live=%d",
+				st.Subject, st.SessionsIdle, st.SessionsLive)
+			return false
+		}
+		return true
+	}
+
+	// Snapshot readers: the whole fleet and single subjects.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				for _, st := range g.Stats() {
+					if !check(st) {
+						return
+					}
+				}
+				if !check(g.SubjectStats(w.subjects[0])) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Query hammer.
+	const workers, rounds = 8, 10
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				subject := w.subjects[(wk+r)%len(w.subjects)]
+				docID := w.docs[r%len(w.docs)]
+				if _, err := g.Query(subject, docID, ""); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if wk == 0 {
+				stop.Store(true)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	stop.Store(true)
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestGatewaySessionRecycling: serial traffic for one subject must ride
+// a single pooled session — provisioned once, recycled per query.
+func TestGatewaySessionRecycling(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	defer g.Close()
+
+	const passes = 5
+	docID := w.docs[0]
+	for i := 0; i < passes; i++ {
+		if _, err := g.Query("nurse", docID, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := g.SubjectStats("nurse")
+	if st.SessionsLive != 1 {
+		t.Errorf("serial traffic grew the pool to %d sessions, want 1", st.SessionsLive)
+	}
+	if st.SessionsIdle != 1 {
+		t.Errorf("session not parked after the last query: idle=%d", st.SessionsIdle)
+	}
+	if st.Recycles != passes {
+		t.Errorf("recycles = %d, want %d (one per successful query)", st.Recycles, passes)
+	}
+	if st.Provisions != 1 {
+		t.Errorf("provisions = %d, want 1 (key+rules installed once, then reused)", st.Provisions)
+	}
+	ps := g.PoolStats()
+	if ps.SessionsInUse != 0 {
+		t.Errorf("pool reports %d sessions in use while quiescent", ps.SessionsInUse)
+	}
+}
+
+// TestGatewaySessionPoolBound: a subject's concurrency beyond its
+// session bound waits for recycled sessions instead of growing the pool.
+func TestGatewaySessionPoolBound(t *testing.T) {
+	w := newTestWorld(t)
+	g, err := New(Config{
+		Store:                 w.store,
+		Keys:                  FixedKeys(w.keys),
+		MaxSessionsPerSubject: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	const workers, rounds = 8, 4
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if _, err := g.Query("doctor", w.docs[0], ""); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := g.SubjectStats("doctor")
+	if st.SessionsLive > 2 {
+		t.Errorf("pool grew to %d sessions past the bound of 2", st.SessionsLive)
+	}
+	if st.Queries != workers*rounds {
+		t.Errorf("queries = %d, want %d", st.Queries, workers*rounds)
+	}
+}
+
+// TestGatewayRateLimit: a drained token bucket refuses with
+// ErrRateLimited and counts the refusal, without charging an error.
+func TestGatewayRateLimit(t *testing.T) {
+	w := newTestWorld(t)
+	g, err := New(Config{
+		Store:        w.store,
+		Keys:         FixedKeys(w.keys),
+		SubjectRate:  0.001, // refills far slower than the test runs
+		SubjectBurst: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	if _, err := g.Query("admin", w.docs[0], ""); err != nil {
+		t.Fatalf("first query within burst: %v", err)
+	}
+	_, err = g.Query("admin", w.docs[0], "")
+	if !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("over-limit query returned %v, want ErrRateLimited", err)
+	}
+	st := g.SubjectStats("admin")
+	if st.RateLimited != 1 {
+		t.Errorf("rate-limited count = %d, want 1", st.RateLimited)
+	}
+	if st.Errors != 0 {
+		t.Errorf("a rate-limit refusal must not count as a query error (got %d)", st.Errors)
+	}
+}
+
+// TestGatewayMaxSubjects: the subject quota refuses new subjects but
+// keeps serving held ones.
+func TestGatewayMaxSubjects(t *testing.T) {
+	w := newTestWorld(t)
+	g, err := New(Config{
+		Store:       w.store,
+		Keys:        FixedKeys(w.keys),
+		MaxSubjects: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	for _, subject := range w.subjects[:2] {
+		if _, err := g.Query(subject, w.docs[0], ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = g.Query(w.subjects[2], w.docs[0], "")
+	if !errors.Is(err, ErrTooManySubjects) {
+		t.Fatalf("third subject returned %v, want ErrTooManySubjects", err)
+	}
+	if _, err := g.Query(w.subjects[0], w.docs[0], ""); err != nil {
+		t.Errorf("held subject refused after quota hit: %v", err)
+	}
+}
+
+// TestGatewayReapIdle: reaping empties the idle pool and the subject
+// re-provisions transparently on its next query.
+func TestGatewayReapIdle(t *testing.T) {
+	w := newTestWorld(t)
+	g := w.gateway(t, 0)
+	defer g.Close()
+
+	if _, err := g.Query("nurse", w.docs[0], ""); err != nil {
+		t.Fatal(err)
+	}
+	if n := g.ReapIdle(0); n != 1 {
+		t.Fatalf("ReapIdle(0) reaped %d sessions, want 1", n)
+	}
+	st := g.SubjectStats("nurse")
+	if st.SessionsLive != 0 || st.SessionsIdle != 0 {
+		t.Errorf("pool not empty after reap: live=%d idle=%d", st.SessionsLive, st.SessionsIdle)
+	}
+	if st.Reaped != 1 {
+		t.Errorf("reaped count = %d, want 1", st.Reaped)
+	}
+	res, err := g.Query("nurse", w.docs[0], "")
+	if err != nil {
+		t.Fatalf("query after reap: %v", err)
+	}
+	if want := w.oracle["nurse|"+w.docs[0]+"|"]; res.XML() != want {
+		t.Error("post-reap query diverges from the oracle")
+	}
+	if st := g.SubjectStats("nurse"); st.Provisions != 2 {
+		t.Errorf("provisions = %d, want 2 (re-provisioned after reap)", st.Provisions)
+	}
+}

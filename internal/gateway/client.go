@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client talks to a gatewayd server over one connection. Requests are
+// serialized on the connection (responses are correlated by order);
+// any number of Sessions may be open at once and used from different
+// goroutines — the gateway's fleet runs their queries concurrently up
+// to its pool bounds even though the frames interleave on one wire.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	// recv is the reusable receive buffer; responses are parsed into
+	// owned values under mu before the next round trip reuses it.
+	recv []byte
+}
+
+// Dial connects to a gatewayd server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// Close terminates the connection; open sessions die with it.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip runs one exchange and hands the response body to parse
+// while the connection lock is still held — the body aliases the
+// reusable receive buffer, so parse must copy out what it keeps.
+func (c *Client) roundTrip(req []byte, parse func(body []byte) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.conn, req); err != nil {
+		return err
+	}
+	resp, err := readFrameInto(c.conn, c.recv[:0:cap(c.recv)])
+	if err != nil {
+		return err
+	}
+	c.recv = resp
+	if len(resp) == 0 {
+		return fmt.Errorf("gateway: empty response")
+	}
+	switch resp[0] {
+	case statusOK:
+		if parse == nil {
+			return nil
+		}
+		return parse(resp[1:])
+	case statusErr:
+		return ServerError(resp[1:])
+	default:
+		return fmt.Errorf("gateway: bad response status %d", resp[0])
+	}
+}
+
+// Session is one subject binding on the wire. The heavyweight state it
+// stands for (card, keys, rules, pipeline) is pooled server-side per
+// subject, so opening and closing sessions is cheap by design.
+type Session struct {
+	c       *Client
+	id      uint64
+	subject string
+}
+
+// Open binds a new wire session to subject.
+func (c *Client) Open(subject string) (*Session, error) {
+	req := appendString(append(getBuf(), opOpen), subject)
+	defer putBuf(req)
+	var id uint64
+	err := c.roundTrip(req, func(body []byte) error {
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return fmt.Errorf("gateway: bad open response")
+		}
+		id = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{c: c, id: id, subject: subject}, nil
+}
+
+// Subject reports the subject this session is bound to.
+func (s *Session) Subject() string { return s.subject }
+
+// QueryResult is one pull query's outcome over the wire.
+type QueryResult struct {
+	// XML is the authorized view ("" when nothing is visible).
+	XML string
+	// Version is the document version the query was served from.
+	Version uint32
+	// BlocksFetched / BlocksWasted are the transfer counters of the
+	// server-side session that ran the query.
+	BlocksFetched int
+	BlocksWasted  int
+}
+
+// Query runs one pull query. query is an XP{[],*,//} expression, or ""
+// for the full authorized view.
+func (s *Session) Query(docID, query string) (*QueryResult, error) {
+	req := binary.AppendUvarint(append(getBuf(), opQuery), s.id)
+	req = appendString(req, docID)
+	req = appendString(req, query)
+	defer putBuf(req)
+	res := &QueryResult{}
+	err := s.c.roundTrip(req, func(body []byte) error {
+		r := &wireReader{data: body}
+		version := r.uvarint()
+		fetched := r.uvarint()
+		wasted := r.uvarint()
+		xml := r.rest()
+		if r.err != nil {
+			return r.err
+		}
+		res.Version = uint32(version)
+		res.BlocksFetched = int(fetched)
+		res.BlocksWasted = int(wasted)
+		res.XML = string(xml) // copy out: body aliases the recv buffer
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Close releases the wire session; the subject's pooled cards stay warm
+// server-side.
+func (s *Session) Close() error {
+	req := binary.AppendUvarint(append(getBuf(), opClose), s.id)
+	defer putBuf(req)
+	return s.c.roundTrip(req, nil)
+}
+
+// Stats fetches the daemon's observability snapshot.
+func (c *Client) Stats() (*Snapshot, error) {
+	req := append(getBuf(), opStats)
+	defer putBuf(req)
+	var snap Snapshot
+	err := c.roundTrip(req, func(body []byte) error {
+		return json.Unmarshal(body, &snap)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}

@@ -89,7 +89,7 @@ func runLen(k, sure, remaining int) int {
 }
 
 // runPipelined drives the session through the two-stage pipeline.
-func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, col *Collector, stats *ResultStats) (err error) {
+func (s *Session) runPipelined(sess *soe.Session, docID string, numBlocks int, col *Collector, stats *ResultStats) (err error) {
 	next, sure := sess.NeedRun()
 	if next < 0 {
 		return nil // nothing demanded (degenerate payload)
@@ -102,7 +102,7 @@ func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, 
 		pfDone = make(chan struct{})
 		totals prefetchTotals
 	)
-	go t.prefetchLoop(sess, docID, numBlocks, wantCh, runCh, done, pfDone, &totals)
+	go s.prefetchLoop(sess, docID, numBlocks, wantCh, runCh, done, pfDone, &totals)
 
 	fed := 0
 	var (
@@ -183,10 +183,10 @@ func (t *Terminal) runPipelined(sess *soe.Session, docID string, numBlocks int, 
 // latest demand point in batched runs, decrypts each run through the
 // session's prepared path, parks when it overruns the payload and
 // restarts whenever the consumer redirects it.
-func (t *Terminal) prefetchLoop(sess *soe.Session, docID string, numBlocks int, wantCh chan jump, runCh chan fetchRun, done chan struct{}, pfDone chan struct{}, totals *prefetchTotals) {
+func (s *Session) prefetchLoop(sess *soe.Session, docID string, numBlocks int, wantCh chan jump, runCh chan fetchRun, done chan struct{}, pfDone chan struct{}, totals *prefetchTotals) {
 	defer close(pfDone)
-	k := t.Prefetch
-	fr, _ := t.Store.(frameReader)
+	k := s.prefetch
+	fr, _ := s.store.(frameReader)
 	cur, gen, sure := -1, 0, 1
 	for {
 		if cur < 0 || cur >= numBlocks {
@@ -215,7 +215,7 @@ func (t *Terminal) prefetchLoop(sess *soe.Session, docID string, numBlocks int, 
 				blocks, owned, release = f.Blocks(), true, f.Release
 			}
 		} else {
-			blocks, err = dsp.ReadBlockRange(t.Store, docID, cur, n)
+			blocks, err = dsp.ReadBlockRange(s.store, docID, cur, n)
 		}
 		for _, b := range blocks {
 			totals.blocks++

@@ -23,7 +23,6 @@ import (
 	"repro/internal/soe"
 	"repro/internal/tagdict"
 	"repro/internal/xmlstream"
-	"repro/internal/xpath"
 )
 
 // Terminal drives queries for one card against one store.
@@ -98,79 +97,17 @@ func (r *Result) XML() string {
 
 // Query runs a pull request: fetch, decrypt-on-card, filter, reassemble.
 // query is an XP{[],*,//} expression, or "" for the full authorized view.
+//
+// Terminal is the one-shot facade: each call runs on a throwaway
+// Session. Callers that issue many queries per card (the fleet
+// gateway) hold a Session directly and recycle it.
 func (t *Terminal) Query(subject, docID, query string) (*Result, error) {
-	var q *xpath.Path
-	if query != "" {
-		var err error
-		q, err = xpath.Parse(query)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	meterBefore := t.Card.Meter
-
-	sess, err := soe.NewSession(t.Card, docID, subject, q, t.Options)
-	if err != nil {
-		return nil, err
-	}
-	defer sess.Abort()
-
-	header, err := t.Store.Header(docID)
-	if err != nil {
-		return nil, err
-	}
-	hdrBytes, err := header.MarshalBinary()
-	if err != nil {
-		return nil, err
-	}
-	if err := sess.LoadHeader(hdrBytes); err != nil {
-		return nil, err
-	}
-
-	col := NewCollector()
-	stats := ResultStats{BlocksTotal: header.NumBlocks()}
-	if t.Prefetch > 0 {
-		err = t.runPipelined(sess, docID, header.NumBlocks(), col, &stats)
-	} else {
-		err = t.runSerial(sess, docID, col, &stats)
-	}
-	if err != nil {
-		return nil, err
-	}
-	if !sess.Done() {
-		return nil, fmt.Errorf("proxy: stream ended but session is not done")
-	}
-	tree, err := col.Result()
-	if err != nil {
-		return nil, err
-	}
-
-	stats.Session = sess.Stats()
-	stats.Meter = t.Card.Meter.Sub(meterBefore)
-	stats.Time = stats.Meter.Price(t.Card.Profile)
-	stats.PendingEvents, stats.PendingBytes = col.PendingLoad()
-	return &Result{Tree: tree, Version: header.Version, Stats: stats}, nil
+	return t.session().Query(subject, docID, query)
 }
 
-// runSerial is the historical pull loop: one store round trip per block
-// the card demands, nothing speculative.
-func (t *Terminal) runSerial(sess *soe.Session, docID string, col *Collector, stats *ResultStats) error {
-	for {
-		idx := sess.NeedBlock()
-		if idx < 0 {
-			return nil
-		}
-		blk, err := t.Store.ReadBlock(docID, idx)
-		if err != nil {
-			return err
-		}
-		stats.BlocksFetched++
-		stats.BytesFetched += int64(len(blk))
-		if err := feedBlock(sess, col, idx, blk); err != nil {
-			return err
-		}
-	}
+// session builds the single-use Session a facade call runs on.
+func (t *Terminal) session() *Session {
+	return NewSession(t.Store, t.Card, t.Options, t.Prefetch)
 }
 
 // feedBlock pushes one block into the card and routes the output records
@@ -198,11 +135,7 @@ func feedPrepared(sess *soe.Session, col *Collector, idx int, prep *soe.Prepared
 // installs it on the card (the "access rights update protocol" of the
 // demonstration: rights refresh without touching the document).
 func (t *Terminal) InstallRules(subject, docID string) error {
-	sealed, err := t.Store.RuleSet(docID, subject)
-	if err != nil {
-		return err
-	}
-	return t.Card.PutSealedRuleSet(docID, subject, sealed)
+	return t.session().InstallRules(subject, docID)
 }
 
 // Collector is the terminal-side record sink: it grows a name table from

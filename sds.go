@@ -37,6 +37,7 @@ import (
 	"repro/internal/docenc"
 	"repro/internal/dsp"
 	"repro/internal/fleet"
+	"repro/internal/gateway"
 	"repro/internal/proxy"
 	"repro/internal/secure"
 	"repro/internal/soe"
@@ -99,6 +100,11 @@ type (
 	StoreServer = dsp.Server
 	// StoreServerConfig tunes a StoreServer's concurrency.
 	StoreServerConfig = dsp.ServerConfig
+	// PullSession is the restartable unit under Terminal and Gateway:
+	// one card plus its prepared pull pipeline, provisioned once and
+	// reusable across queries (Reset/Close). Terminals make one per
+	// query; the fleet pools them per subject.
+	PullSession = proxy.Session
 	// Terminal orchestrates pull queries for one card. Setting its
 	// Prefetch field (see DefaultPrefetch) turns the pull loop into a
 	// two-stage prefetching pipeline: batched block runs are fetched
@@ -126,8 +132,28 @@ type (
 	GatewayConfig = fleet.Config
 	// GatewayStats aggregates one subject's usage at the gateway.
 	GatewayStats = fleet.SubjectStats
+	// GatewayPoolStats aggregates the gateway's session pool across all
+	// subjects (occupancy, recycles, retires, reaping, rate limiting).
+	GatewayPoolStats = fleet.PoolStats
 	// KeySource resolves document keys during gateway provisioning.
 	KeySource = fleet.KeySource
+	// GatewayServer serves a Gateway over TCP with the gatewayd wire
+	// protocol (cmd/gatewayd is the ready-made daemon).
+	GatewayServer = gateway.Server
+	// GatewayServerConfig tunes a GatewayServer's concurrency.
+	GatewayServerConfig = gateway.ServerConfig
+	// GatewayClient talks to a gatewayd over one multiplexed connection.
+	GatewayClient = gateway.Client
+	// GatewayWireSession is one subject binding on a GatewayClient; the
+	// card state it stands for is pooled server-side.
+	GatewayWireSession = gateway.Session
+	// GatewaySnapshot is a gatewayd observability snapshot (wire
+	// traffic, pool occupancy, per-subject meters, cache and store
+	// stats) — what /stats serves.
+	GatewaySnapshot = gateway.Snapshot
+	// StoreServerStats is a dspd observability snapshot (document
+	// count, cache counters, durable-tier counters).
+	StoreServerStats = dsp.ServerStats
 	// EncodeOptions tunes document encryption and indexing.
 	EncodeOptions = docenc.EncodeOptions
 	// SessionOptions tunes a card session (ablation switches).
@@ -331,3 +357,14 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) { return fleet.New(cfg) }
 
 // FixedGatewayKeys adapts a docID→key table into a KeySource.
 func FixedGatewayKeys(keys map[string]Key) KeySource { return fleet.FixedKeys(keys) }
+
+// NewGatewayServer wraps a Gateway in a TCP server speaking the
+// gatewayd wire protocol (see cmd/gatewayd for the ready-made daemon
+// with the /stats HTTP endpoint).
+func NewGatewayServer(g *Gateway, cfg GatewayServerConfig) *GatewayServer {
+	return gateway.NewServer(g, cfg)
+}
+
+// DialGateway connects to a gatewayd server; Open a session per subject
+// and Query through it (see examples/gateway).
+func DialGateway(addr string) (*GatewayClient, error) { return gateway.Dial(addr) }
