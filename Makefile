@@ -9,7 +9,7 @@ BENCH_BASELINE ?= $(shell ls BENCH_*.json 2>/dev/null | sort -V | tail -1)
 # >50% worse fails the build.
 BENCH_THRESHOLD ?= 0.5
 
-.PHONY: build test test-nommap bench bench-smoke bench-json bench-compare bench-chain gateway-soak fuzz-smoke fmt vet staticcheck ci
+.PHONY: build test test-nommap test-nosendfile bench bench-smoke bench-json bench-compare bench-chain gateway-soak fuzz-smoke fmt vet staticcheck ci
 
 ## build: compile every package and command
 build:
@@ -23,6 +23,13 @@ test:
 ## the fallback non-unix platforms and dspd -mmap=false take
 test-nommap:
 	$(GO) test -tags nommap ./internal/dsp/
+
+## test-nosendfile: exercise the writev-only cold serve path — what
+## non-linux platforms and dspd -sendfile=false take — plus the fully
+## portable combination (no mmap tier, no sendfile)
+test-nosendfile:
+	$(GO) test -tags nosendfile ./internal/dsp/
+	$(GO) test -tags nommap,nosendfile ./internal/dsp/
 
 ## bench: one-iteration benchmark smoke run (perf code must keep compiling and running)
 bench:
@@ -97,4 +104,4 @@ staticcheck:
 	fi
 
 ## ci: exactly what .github/workflows/ci.yml runs
-ci: fmt vet staticcheck build test test-nommap gateway-soak fuzz-smoke bench bench-compare bench-chain
+ci: fmt vet staticcheck build test test-nommap test-nosendfile gateway-soak fuzz-smoke bench bench-compare bench-chain

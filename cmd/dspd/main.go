@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dspd [-addr :7070] [-store DIR] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0] [-mmap=true]
+//	dspd [-addr :7070] [-store DIR] [-shards 16] [-cache-mb 64] [-workers 0] [-depth 0] [-mmap=true] [-sendfile=true]
 //
 // Without -store the store is in-memory: sharded by document id,
 // fronted by an LRU block cache, gone on exit. With -store DIR it is
@@ -51,6 +51,8 @@ func main() {
 		"with -store: parallel segment-recovery workers at startup (0: GOMAXPROCS, 1: sequential)")
 	useMmap := flag.Bool("mmap", true,
 		"with -store: mmap checkpoint images and serve checkpoint-resident blocks as zero-copy views (off: heap-resident tier only)")
+	useSendfile := flag.Bool("sendfile", true,
+		"with -store: serve contiguous checkpoint-resident block runs with sendfile(2) instead of writev (off: always writev)")
 	flag.Parse()
 
 	var store dsp.Store
@@ -63,6 +65,7 @@ func main() {
 			CheckpointBytes:     int64(*ckptMB) << 20,
 			RecoveryParallelism: *recoveryWorkers,
 			DisableMmap:         !*useMmap,
+			DisableSendfile:     !*useSendfile,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -155,5 +158,9 @@ func main() {
 		log.Printf("dspd: wal %d records / %d KiB appended, %d fsync barriers, %d segment checkpoints",
 			st.Records, st.AppendedBytes>>10, st.Syncs, st.Checkpoints)
 		log.Printf("dspd: reads served: %d mapped (zero-copy), %d heap", st.MmapReads, st.HeapReads)
+		if st.SendfileReads > 0 || st.SendfileFallbacks > 0 {
+			log.Printf("dspd: sendfile: %d runs / %d KiB kernel-to-wire, %d writev fallbacks",
+				st.SendfileReads, st.SendfileBytes>>10, st.SendfileFallbacks)
+		}
 	}
 }

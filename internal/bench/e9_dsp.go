@@ -1,8 +1,11 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"net"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -278,5 +281,143 @@ func E9ConcurrentDSP(rec *Recorder) []*Table {
 	rec.RecordLower("wire_read_allocs_per_op", "allocs", allocs)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("batched wire read steady state: %.1f allocs/op end to end (pooled frames, zero-copy response)", allocs))
-	return []*Table{t}
+	cold, err := e9ColdServe(rec)
+	if err != nil {
+		panic(err)
+	}
+	return []*Table{t, cold}
+}
+
+// The cold serve shape: a 64-block × 4 KiB checkpoint-resident run, the
+// batched read a skip-index scan of a cold document issues.
+const (
+	e9ColdRunLen     = 64
+	e9ColdBlockBytes = 4096
+)
+
+// e9ColdContainer builds the cold corpus (synthetic ciphertext; the
+// store and the wire never inspect it).
+func e9ColdContainer(docID string) *docenc.Container {
+	plain := e9ColdBlockBytes - secure.MACLen
+	h := docenc.Header{DocID: docID, Version: 1, BlockPlain: uint32(plain),
+		PayloadLen: uint64(plain) * e9ColdRunLen}
+	c := &docenc.Container{Header: h}
+	for i := 0; i < e9ColdRunLen; i++ {
+		c.Blocks = append(c.Blocks, bytes.Repeat([]byte{byte(i)}, e9ColdBlockBytes))
+	}
+	return c
+}
+
+// e9ColdRun drives `ops` cold batched reads of the full run against a
+// checkpointed FileStore over loopback TCP and reports heap bytes
+// allocated per op (process-wide, both connection ends), the fraction of
+// wire bytes that left via sendfile, and the sendfile syscall count.
+func e9ColdRun(disableSendfile bool, ops int) (bytesPerOp, ratio float64, reads int64, err error) {
+	dir, err := os.MkdirTemp("", "e9cold-*")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer os.RemoveAll(dir)
+	fs, err := dsp.NewFileStoreOptions(dir, dsp.FileStoreOptions{
+		NoSync: true, DisableSendfile: disableSendfile,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer fs.Close()
+	c := e9ColdContainer("e9-cold")
+	if err := fs.PutDocument(c); err != nil {
+		return 0, 0, 0, err
+	}
+	if err := fs.Checkpoint(); err != nil {
+		return 0, 0, 0, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	srv := dsp.NewServer(fs)
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+	cl, err := dsp.Dial(l.Addr().String())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer cl.Close()
+
+	readOne := func() error {
+		f, err := cl.ReadBlocksFrame("e9-cold", 0, e9ColdRunLen)
+		if err != nil {
+			return err
+		}
+		f.Release()
+		return nil
+	}
+	for i := 0; i < 32; i++ { // warm response, frame and worker pools
+		if err := readOne(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	st0 := fs.Stats()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		if err := readOne(); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	st1 := fs.Stats()
+
+	// Wire payload per op: every stored block plus its varint prefix —
+	// exactly the span the sendfile tier is accountable for.
+	var wire int64
+	for _, b := range c.Blocks {
+		wire += int64(len(binary.AppendUvarint(nil, uint64(len(b))))) + int64(len(b))
+	}
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / float64(ops)
+	ratio = float64(st1.SendfileBytes-st0.SendfileBytes) / (float64(wire) * float64(ops))
+	return bytesPerOp, ratio, st1.SendfileReads - st0.SendfileReads, nil
+}
+
+// e9ColdServe compares the kernel-resident cold serve (sendfile) with
+// the mapped writev path over the same checkpoint-resident corpus.
+// Gated: the sendfile coverage ratio (on capable builds) and the cold
+// read's heap bytes per op — the sendfile path must not allocate more
+// than writev did. The writev baseline itself is informational.
+func e9ColdServe(rec *Recorder) (*Table, error) {
+	const ops = 300
+	sfBytes, sfRatio, sfReads, err := e9ColdRun(false, ops)
+	if err != nil {
+		return nil, err
+	}
+	wvBytes, _, _, err := e9ColdRun(true, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	if dsp.SendfileCapable() {
+		// Gate only where the syscall exists: a darwin/nosendfile run must
+		// not fail a linux baseline (CI pins linux, so CI always gates).
+		rec.RecordHigher("cold_serve_sendfile_ratio", "ratio", sfRatio)
+	}
+	rec.RecordLower("cold_read_bytes_per_op", "B", sfBytes)
+	rec.Record("cold_read_bytes_per_op_writev", "B", wvBytes)
+	rec.Record("cold_serve_sendfile_reads", "ops", float64(sfReads))
+
+	t := &Table{
+		ID:      "E9",
+		Title:   "cold serve: checkpoint tier onto the wire, sendfile vs mapped writev",
+		Columns: []string{"path", "heap B/op", "sendfile coverage", "sendfile calls"},
+		Notes: []string{
+			fmt.Sprintf("%d-block × %d B checkpoint-resident run over loopback TCP, %d cold batched reads",
+				e9ColdRunLen, e9ColdBlockBytes, ops),
+			"coverage = bytes shipped by sendfile(2) / wire payload bytes (blocks + varint prefixes)",
+			fmt.Sprintf("sendfile capable on this build: %v", dsp.SendfileCapable()),
+		},
+	}
+	t.AddRow("sendfile", fmt.Sprintf("%.0f", sfBytes), fmt.Sprintf("%.1f%%", sfRatio*100),
+		fmt.Sprintf("%d", sfReads))
+	t.AddRow("writev", fmt.Sprintf("%.0f", wvBytes), "-", "-")
+	return t, nil
 }

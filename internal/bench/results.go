@@ -57,6 +57,11 @@ type Env struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
 	Commit     string `json:"commit,omitempty"`
+	// OSRelease is the kernel release (uname -r); empty where the
+	// platform offers no cheap way to ask. Kernel-path metrics (the
+	// sendfile cold serve) shift across kernel versions, so comparisons
+	// want it on record. Additive: older result files simply lack it.
+	OSRelease string `json:"os_release,omitempty"`
 }
 
 // Result is one sdsbench run.
@@ -81,6 +86,7 @@ func NewResult(label, commit string) *Result {
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 			NumCPU:     runtime.NumCPU(),
 			Commit:     commit,
+			OSRelease:  osRelease(),
 		},
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -37,6 +38,26 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(r, got) {
 		t.Errorf("round trip mismatch:\nwant %+v\ngot  %+v", r, got)
+	}
+}
+
+// TestEnvOSReleaseAdditive: os_release is recorded where the platform
+// exposes it, and result files written before the field existed still
+// decode (the field is additive).
+func TestEnvOSReleaseAdditive(t *testing.T) {
+	r := NewResult("lbl", "")
+	if runtime.GOOS == "linux" && r.Env.OSRelease == "" {
+		t.Error("linux run recorded no os_release")
+	}
+	old := `{"schema":"sds-bench-result/v1","created_at":"2026-01-01T00:00:00Z",` +
+		`"env":{"go_version":"go1.24","goos":"linux","goarch":"amd64","gomaxprocs":4,"num_cpu":4},` +
+		`"experiments":[]}`
+	got, err := DecodeResult(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("pre-os_release file rejected: %v", err)
+	}
+	if got.Env.OSRelease != "" {
+		t.Fatalf("old file grew an os_release: %q", got.Env.OSRelease)
 	}
 }
 

@@ -1,0 +1,21 @@
+//go:build linux
+
+package bench
+
+import "syscall"
+
+// osRelease returns the running kernel release (uname -r).
+func osRelease() string {
+	var u syscall.Utsname
+	if err := syscall.Uname(&u); err != nil {
+		return ""
+	}
+	buf := make([]byte, 0, len(u.Release))
+	for _, c := range u.Release {
+		if c == 0 {
+			break
+		}
+		buf = append(buf, byte(c))
+	}
+	return string(buf)
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package bench
+
+// osRelease has no portable stdlib source off linux; results record an
+// empty os_release there (the field is additive and omitempty).
+func osRelease() string { return "" }

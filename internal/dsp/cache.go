@@ -244,7 +244,7 @@ func (c *Cache) ReadBlock(docID string, idx int) ([]byte, error) {
 // memory and each gap is fetched from the backing store in one batched
 // read (when it supports ranges).
 func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
-	return c.readBlocks(docID, start, count, nil)
+	return c.readBlocks(docID, start, count, nil, nil)
 }
 
 // ReadBlocksPinned implements PinnedBlockReader: cache hits are ordinary
@@ -252,11 +252,19 @@ func (c *Cache) ReadBlocks(docID string, start, count int) ([][]byte, error) {
 // so a mostly-cold range still travels mmap → writev without a copy.
 func (c *Cache) ReadBlocksPinned(docID string, start, count int, pins *[]BlockPin) ([][]byte, bool, error) {
 	pre := len(*pins)
-	out, err := c.readBlocks(docID, start, count, pins)
+	out, err := c.readBlocks(docID, start, count, pins, nil)
 	if err != nil {
 		return nil, false, err
 	}
 	return out, len(*pins) > pre, nil
+}
+
+// readBlocksWire implements wireBlockReader: cache hits stay heap
+// blocks, and each cold gap forwards the backing store's
+// sendfile-capable runs (shifted to this read's indexing) — so the hot
+// set rides the LRU while a cold run still leaves the box kernel-side.
+func (c *Cache) readBlocksWire(docID string, start, count int, pins *[]BlockPin, runs *[]wireRun) ([][]byte, error) {
+	return c.readBlocks(docID, start, count, pins, runs)
 }
 
 // readBlocks is the shared range read. With pins == nil every gap fill
@@ -265,11 +273,12 @@ func (c *Cache) ReadBlocksPinned(docID string, start, count int, pins *[]BlockPi
 // fill that came back mapped is served but NOT cached — the views are
 // only valid until the pin releases, while a cache entry would outlive
 // it and serve unmapped memory.
-func (c *Cache) readBlocks(docID string, start, count int, pins *[]BlockPin) ([][]byte, error) {
+func (c *Cache) readBlocks(docID string, start, count int, pins *[]BlockPin, runs *[]wireRun) ([][]byte, error) {
 	if start < 0 || count < 0 {
 		return nil, fmt.Errorf("dsp: negative block range [%d,+%d)", start, count)
 	}
 	pr, pinnable := c.store.(PinnedBlockReader)
+	wr, wirable := c.store.(wireBlockReader)
 	out := make([][]byte, count)
 	missFrom := -1
 	flushGap := func(end int) error {
@@ -281,6 +290,16 @@ func (c *Cache) readBlocks(docID string, start, count int, pins *[]BlockPin) ([]
 		var mapped bool
 		var err error
 		switch {
+		case pins != nil && runs != nil && wirable:
+			// Forward the backing store's file runs, re-indexed from the
+			// gap's offset to this read's.
+			pre := len(*pins)
+			preRuns := len(*runs)
+			got, err = wr.readBlocksWire(docID, start+missFrom, end-missFrom, pins, runs)
+			mapped = err == nil && len(*pins) > pre
+			for i := preRuns; i < len(*runs); i++ {
+				(*runs)[i].Start += missFrom
+			}
 		case pins != nil && pinnable:
 			got, mapped, err = pr.ReadBlocksPinned(docID, start+missFrom, end-missFrom, pins)
 		case pinnable:
@@ -419,4 +438,5 @@ var (
 	_ BlockRangeReader  = (*Cache)(nil)
 	_ DocUpdater        = (*Cache)(nil)
 	_ PinnedBlockReader = (*Cache)(nil)
+	_ wireBlockReader   = (*Cache)(nil)
 )

@@ -1,9 +1,12 @@
 package dsp
 
-// The checkpoint block-index footer. A v2 checkpoint image is the v1
-// body (magic, documents, rules — byte-identical layout, readable by
-// the heap loader, which never inspects trailing bytes) followed by an
-// index section and a fixed tail:
+// The checkpoint block-index footer. A footered checkpoint image is
+// the body (magic, documents, rules — readable by the heap loader,
+// which never inspects trailing bytes) followed by an index section
+// and a fixed tail. v2 introduced the footer over the v1 body; v3
+// keeps the same footer but stores each block wire-prefixed (uvarint
+// length before the payload — see the segment writer), so footer block
+// refs in a v3 image point at the payload after its prefix:
 //
 //	index = uvarint nDocs
 //	        per doc: [string docID][uvarint version][uvarint hdrOff]

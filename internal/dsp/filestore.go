@@ -80,6 +80,12 @@ type FileStoreOptions struct {
 	// mapped, exactly like a nommap build. The on-disk format is the
 	// same either way.
 	DisableMmap bool
+	// DisableSendfile keeps the mapped tier but stops resolving
+	// checkpoint runs to (file, offset) spans, so batched reads always
+	// travel the writev path — exactly like a nosendfile build (or a
+	// non-linux platform). Implied by DisableMmap: the sendfile tier
+	// serves out of the mapped images' files.
+	DisableSendfile bool
 }
 
 // DefaultCheckpointBytes bounds the combined log size (and therefore
@@ -133,9 +139,19 @@ type FileStoreStats struct {
 	// pinned runs, SEQUENTIAL on freshly installed images. Always 0 on
 	// platforms without madvise and under -tags nommap.
 	MadviseCalls int64
-	// FooterMigrations counts segments whose footerless (pre-index)
-	// checkpoint image this open rewrote with a block-index footer.
+	// FooterMigrations counts segments whose checkpoint image this open
+	// rewrote into the current format — footerless (pre-index) v1 images
+	// and v2 images without wire prefixes alike.
 	FooterMigrations int64
+	// SendfileReads counts checkpoint runs fully shipped by the
+	// kernel-resident serve path (sendfile, one count per run);
+	// SendfileBytes the bytes those calls moved page cache → socket.
+	// SendfileFallbacks counts runs a connection had to push through
+	// writev after the kernel refused sendfile at runtime (ENOSYS,
+	// EINVAL, short transfer) — the output is byte-identical either way.
+	// All zero with the tier disabled (DisableSendfile/DisableMmap, the
+	// nosendfile build tag, non-linux platforms).
+	SendfileReads, SendfileBytes, SendfileFallbacks int64
 }
 
 // segment is one on-disk partition: a WAL with its own append mutex and
@@ -157,10 +173,11 @@ type segment struct {
 	// same discipline as the shard's documents, whose blocks may point
 	// into it.
 	region *mmapRegion
-	// needFooter marks a segment whose recovered checkpoint image
-	// predates the index footer; the open rewrites it once. Written
-	// single-threaded during recovery.
-	needFooter bool
+	// needRewrite marks a segment whose recovered checkpoint image
+	// predates the current format (v1: no index footer; v2: no wire
+	// prefixes); the open rewrites it once. Written single-threaded
+	// during recovery.
+	needRewrite bool
 }
 
 // FileStore implements Store, BlockRangeReader and DocUpdater on disk.
@@ -186,6 +203,14 @@ type FileStore struct {
 	// served as views into mapped images, everything newer from heap.
 	// Fixed at open (platform support ∧ !DisableMmap).
 	mmapOn bool
+	// sendfileOn additionally lets batched reads resolve checkpoint
+	// runs to (file, offset) spans the connection writer can ship with
+	// sendfile. Fixed at open (mmapOn ∧ platform support ∧
+	// !DisableSendfile).
+	sendfileOn bool
+	// sf receives the connection writers' sendfile outcomes for runs
+	// this store resolved (each wireRun carries the pointer).
+	sf sendfileStats
 	// mappedBytes tracks the combined size of the segments' current
 	// regions; mmapReads / heapReads count blocks served per tier.
 	mappedBytes  atomic.Int64
@@ -238,23 +263,36 @@ func segCkptName(i int) string { return fmt.Sprintf("checkpoint-%03d", i) }
 func (s *FileStore) segWalPath(i int) string  { return filepath.Join(s.dir, segWalName(i)) }
 func (s *FileStore) segCkptPath(i int) string { return filepath.Join(s.dir, segCkptName(i)) }
 
-// checkpoint image magic ("SDSC" + format version). Version 2 appends a
-// block-index footer (see ckptindex.go) after the v1 body; the body
-// layout itself is unchanged from the single-file era, each segment
-// image is simply a smaller store. Readers accept both versions — a v1
-// (footerless) image is heap-loaded and rewritten with a footer once.
+// checkpoint image magic ("SDSC" + format version). Version 2 appended
+// a block-index footer (see ckptindex.go) after the v1 body. Version 3
+// keeps the footer and changes the body's block layout: every block is
+// written behind its uvarint length prefix — byte for byte the
+// opReadBlocks wire encoding — so a contiguous run of
+// checkpoint-resident blocks is a wire-exact file span the sendfile
+// serve tier ships with one syscall. Footer block refs still point at
+// the payloads (the offset skips the prefix), so the mapped tier's
+// view machinery is unchanged. Readers accept all three versions;
+// v1/v2 images are heap-loaded (or mapped, for footered v2) and
+// rewritten in the current format once at open.
 var (
-	ckptMagic   = []byte{'S', 'D', 'S', 'C', 2}
+	ckptMagic   = []byte{'S', 'D', 'S', 'C', 3}
+	ckptMagicV2 = []byte{'S', 'D', 'S', 'C', 2}
 	ckptMagicV1 = []byte{'S', 'D', 'S', 'C', 1}
 )
 
-// ckptMagicOK accepts the current and the legacy image version.
+// ckptMagicOK accepts the current and the legacy image versions.
 func ckptMagicOK(data []byte) bool {
 	if len(data) < len(ckptMagic) {
 		return false
 	}
 	head := string(data[:len(ckptMagic)])
-	return head == string(ckptMagic) || head == string(ckptMagicV1)
+	return head == string(ckptMagic) || head == string(ckptMagicV2) || head == string(ckptMagicV1)
+}
+
+// ckptWirePrefixed reports a v3 body: blocks stored behind their wire
+// varint prefixes.
+func ckptWirePrefixed(data []byte) bool {
+	return len(data) >= len(ckptMagic) && string(data[:len(ckptMagic)]) == string(ckptMagic)
 }
 
 // NewFileStore opens (or creates) a durable store in dir with default
@@ -286,6 +324,7 @@ func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) 
 	}
 	s := &FileStore{dir: dir, opts: opts, lock: lock}
 	s.mmapOn = mmapSupported && !opts.DisableMmap
+	s.sendfileOn = s.mmapOn && sendfileSupported && !opts.DisableSendfile
 	start := time.Now()
 	if err := s.openDir(); err != nil {
 		// Release whatever a partial open acquired — the lock, any
@@ -304,19 +343,20 @@ func NewFileStoreOptions(dir string, opts FileStoreOptions) (*FileStore, error) 
 		_ = lock.release()
 		return nil, err
 	}
-	// One-shot footer migration: a recovered segment whose image
-	// predates the block index is re-checkpointed now (the image is
-	// rewritten from the just-recovered state, with a footer, and its
-	// mapping installed), so from here on every image on disk is
-	// footered and mmap-served. Counted into the recovery time like the
-	// layout migration.
+	// One-shot format migration: a recovered segment whose image
+	// predates the current format — footerless v1, or footered v2
+	// without wire prefixes — is re-checkpointed now (the image is
+	// rewritten from the just-recovered state and its mapping
+	// installed), so from here on every image on disk is footered,
+	// wire-prefixed and mmap-served. Counted into the recovery time
+	// like the layout migration.
 	for _, seg := range s.segs {
-		if seg.needFooter && s.mmapOn {
+		if seg.needRewrite && s.mmapOn {
 			if err := s.checkpointSegmentMode(seg, true); err != nil {
 				_ = s.Close()
-				return nil, fmt.Errorf("dsp: rewriting footerless checkpoint of segment %d: %w", seg.idx, err)
+				return nil, fmt.Errorf("dsp: rewriting legacy checkpoint of segment %d: %w", seg.idx, err)
 			}
-			seg.needFooter = false
+			seg.needRewrite = false
 			s.footerMigrations++
 		}
 	}
@@ -527,13 +567,19 @@ func (s *FileStore) recoverSegment(i int, rec *segRecovery) error {
 		if err != nil {
 			return err
 		}
+		if mapped && !s.segs[i].region.wirePrefixed {
+			// A footered v2 image maps and serves fine, but its blocks
+			// lack wire prefixes, so the sendfile tier cannot coalesce
+			// runs out of it: rewrite it in the current format once.
+			s.segs[i].needRewrite = true
+		}
 	}
 	if !mapped {
 		if err := s.loadCheckpointFile(path); err != nil {
 			return err
 		}
 		if s.mmapOn && fileExists(path) {
-			s.segs[i].needFooter = true
+			s.segs[i].needRewrite = true
 		}
 	}
 	tokens := make(map[uint64]uint64) // logged token → live token
@@ -650,6 +696,9 @@ func (s *FileStore) Stats() FileStoreStats {
 	st.HeapReads = s.heapReads.Load()
 	st.MadviseCalls = s.madviseCalls.Load()
 	st.FooterMigrations = s.footerMigrations
+	st.SendfileReads = s.sf.reads.Load()
+	st.SendfileBytes = s.sf.bytes.Load()
+	st.SendfileFallbacks = s.sf.fallbacks.Load()
 	if s.gc != nil {
 		// One consistent pair: both counters mutate under gc.mu, so a
 		// snapshot there can never observe a round without its waiters
@@ -904,6 +953,23 @@ func (s *FileStore) ReadBlocks(docID string, start, count int) ([][]byte, error)
 // only path that retires a region) excludes, so a view can never
 // outlive its mapping unpinned.
 func (s *FileStore) ReadBlocksPinned(docID string, start, count int, pins *[]BlockPin) ([][]byte, bool, error) {
+	return s.readPinned(docID, start, count, pins, nil)
+}
+
+// readBlocksWire implements wireBlockReader: ReadBlocksPinned plus
+// sendfile-capable run resolution — contiguous checkpoint-resident
+// stretches of the range come back as (file, offset, span) runs the
+// connection writer ships with one syscall each. The pins keep both the
+// mapping and the underlying file open, so a run outlives an epoch
+// retirement mid-flush.
+func (s *FileStore) readBlocksWire(docID string, start, count int, pins *[]BlockPin, runs *[]wireRun) ([][]byte, error) {
+	out, _, err := s.readPinned(docID, start, count, pins, runs)
+	return out, err
+}
+
+// readPinned is the shared pinned range read; with runs non-nil (and
+// the sendfile tier on) it also resolves wire-exact file runs.
+func (s *FileStore) readPinned(docID string, start, count int, pins *[]BlockPin, runs *[]wireRun) ([][]byte, bool, error) {
 	seg, sh, c, err := s.lookupLocked(docID)
 	if err != nil {
 		return nil, false, err
@@ -939,11 +1005,66 @@ func (s *FileStore) ReadBlocksPinned(docID string, start, count int, pins *[]Blo
 					s.madviseCalls.Add(1)
 				}
 			}
+			if runs != nil && s.sendfileOn && reg.wirePrefixed && reg.f != nil {
+				s.collectWireRuns(reg, out, runs)
+			}
 		}
 	}
 	s.mmapReads.Add(mapped)
 	s.heapReads.Add(int64(count) - mapped)
 	return out, mapped > 0, nil
+}
+
+// collectWireRuns walks a pinned read's blocks and appends every
+// contiguous checkpoint span worth a sendfile. A block joins the
+// current run when its wire prefix starts exactly where the previous
+// block's payload ended — the v3 image layout for blocks written
+// back-to-back — and each prefix is verified to decode to the block's
+// length, so the span is wire-exact by construction, not by trust in
+// the footer. Runs under sendfileMinRunBytes stay on the writev path.
+func (s *FileStore) collectWireRuns(reg *mmapRegion, blocks [][]byte, runs *[]wireRun) {
+	runStart := -1
+	var spanLo, spanEnd int64
+	flush := func(end int) {
+		if runStart < 0 {
+			return
+		}
+		if spanEnd-spanLo >= sendfileMinRunBytes {
+			*runs = append(*runs, wireRun{
+				Start: runStart, Count: end - runStart,
+				Span: reg.data[spanLo:spanEnd:spanEnd],
+				File: reg.f, Off: spanLo, Stats: &s.sf,
+			})
+		}
+		runStart = -1
+	}
+	for i, b := range blocks {
+		off := reg.offsetOf(b)
+		if off < 0 {
+			flush(i)
+			continue
+		}
+		pl := int64(uvarintLen(uint64(len(b))))
+		lo := off - pl
+		if lo < 0 || !wirePrefixValid(reg.data[lo:off], len(b)) {
+			flush(i)
+			continue
+		}
+		if runStart >= 0 && lo == spanEnd {
+			spanEnd = off + int64(len(b))
+			continue
+		}
+		flush(i)
+		runStart = i
+		spanLo, spanEnd = lo, off+int64(len(b))
+	}
+	flush(len(blocks))
+}
+
+// wirePrefixValid reports that p is exactly the uvarint encoding of n.
+func wirePrefixValid(p []byte, n int) bool {
+	v, w := binary.Uvarint(p)
+	return w == len(p) && v == uint64(n)
 }
 
 // RuleSet implements Store from memory.
@@ -1037,6 +1158,17 @@ func (s *FileStore) AbortUpdate(token uint64) error {
 // record body builders (shared by live appends and checkpoint re-logs).
 
 func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+
+// uvarintLen is the encoded size of v — the wire prefix the v3 image
+// stores ahead of each block.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
 
 func beginRecord(token uint64, baseVersion uint32, hdr []byte) []byte {
 	body := []byte{recBeginUpdate}
@@ -1345,16 +1477,19 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 			return err
 		}
 		for _, c := range sh.docs {
-			// The image layout of one document equals its
-			// Container.MarshalBinary (header bytes, then raw blocks),
-			// but streamed block by block.
+			// The image layout of one document is its header bytes
+			// followed by wire-encoded blocks — each behind its uvarint
+			// length prefix, exactly as opReadBlocks frames it — streamed
+			// block by block. Footer refs point at the payloads, so the
+			// mapped tier's views skip the prefixes; the sendfile tier
+			// ships whole [prefix][payload]... runs verbatim.
 			hdr, err := c.Header.MarshalBinary()
 			if err != nil {
 				return err
 			}
 			total := len(hdr)
 			for _, b := range c.Blocks {
-				total += len(b)
+				total += uvarintLen(uint64(len(b))) + len(b)
 			}
 			if err := writeUvarint(uint64(total)); err != nil {
 				return err
@@ -1370,6 +1505,9 @@ func (s *FileStore) writeSegmentImageSync(idx int, sync bool) error {
 				return err
 			}
 			for _, b := range c.Blocks {
+				if err := writeUvarint(uint64(len(b))); err != nil {
+					return err
+				}
 				e.blocks = append(e.blocks, ckptBlockRef{off: cw.n, len: int64(len(b))})
 				if _, err := cw.Write(b); err != nil {
 					return err
@@ -1530,9 +1668,12 @@ func (s *FileStore) loadCheckpointFile(path string) error {
 	if !ckptMagicOK(data) {
 		return fmt.Errorf("dsp: %s: bad checkpoint magic", path)
 	}
-	// A v2 image carries an index footer after the body; the body parse
+	// A footered image carries an index after the body; the body parse
 	// below reads exactly nDocs + nRules entries and leaves the trailing
-	// index untouched, so the heap loader reads both versions alike.
+	// index untouched, so the heap loader reads every version alike. The
+	// per-document layout differs: v1/v2 store raw back-to-back blocks
+	// (Container.MarshalBinary), v3 wire-prefixed ones.
+	prefixed := ckptWirePrefixed(data)
 	r := &wireReader{data: data, pos: len(ckptMagic)}
 	nDocs := r.uvarint()
 	for i := uint64(0); i < nDocs; i++ {
@@ -1540,7 +1681,13 @@ func (s *FileStore) loadCheckpointFile(path string) error {
 		if r.err != nil {
 			break
 		}
-		c, err := docenc.UnmarshalContainer(img)
+		var c *docenc.Container
+		var err error
+		if prefixed {
+			c, err = unmarshalWireDoc(img)
+		} else {
+			c, err = docenc.UnmarshalContainer(img)
+		}
 		if err != nil {
 			return fmt.Errorf("dsp: checkpoint document %d: %w", i, err)
 		}
@@ -1568,6 +1715,35 @@ func (s *FileStore) loadCheckpointFile(path string) error {
 		return fmt.Errorf("dsp: truncated checkpoint %s: %w", path, r.err)
 	}
 	return nil
+}
+
+// unmarshalWireDoc parses one v3 per-document image: header bytes, then
+// every block behind its uvarint wire prefix. Each prefix is checked
+// against the header's stored-length geometry — the same
+// cross-validation the mapped tier applies to footer entries — so a
+// corrupt image fails here instead of serving misframed blocks.
+func unmarshalWireDoc(img []byte) (*docenc.Container, error) {
+	h, n, err := docenc.UnmarshalHeader(img)
+	if err != nil {
+		return nil, err
+	}
+	r := &wireReader{data: img, pos: n}
+	blocks := make([][]byte, 0, h.NumBlocks())
+	for i := 0; i < h.NumBlocks(); i++ {
+		b := r.bytes()
+		if r.err != nil {
+			return nil, fmt.Errorf("dsp: wire-prefixed block %d: %w", i, r.err)
+		}
+		if len(b) != h.BlockStoredLen(i) {
+			return nil, fmt.Errorf("dsp: wire-prefixed block %d: length %d, geometry says %d",
+				i, len(b), h.BlockStoredLen(i))
+		}
+		blocks = append(blocks, b)
+	}
+	if r.pos != len(img) {
+		return nil, fmt.Errorf("dsp: %d trailing bytes after wire-prefixed document", len(img)-r.pos)
+	}
+	return &docenc.Container{Header: h, Blocks: blocks}, nil
 }
 
 // containerFromEntry builds a document container whose blocks are views
@@ -1621,6 +1797,7 @@ func (s *FileStore) loadCheckpointMapped(seg *segment) (bool, error) {
 		region.release()
 		return false, fmt.Errorf("dsp: %s: bad checkpoint magic", s.segCkptPath(seg.idx))
 	}
+	region.wirePrefixed = ckptWirePrefixed(data)
 	// The footer-driven scan is about to fault the whole image in (index
 	// entries at the tail, geometry validation over the headers): tell
 	// the kernel now so recovery reads ahead instead of faulting page by
@@ -1698,6 +1875,7 @@ func (s *FileStore) installMapping(seg *segment) {
 	if err != nil {
 		return // heap keeps serving; the next checkpoint retries
 	}
+	region.wirePrefixed = ckptWirePrefixed(region.data)
 	// Cold reads over a fresh image arrive as forward block runs (the
 	// terminal's batched pulls, streaming re-checkpoints): ask for
 	// sequential readahead over the whole mapping.
@@ -1774,4 +1952,5 @@ var (
 	_ BlockRangeReader  = (*FileStore)(nil)
 	_ DocUpdater        = (*FileStore)(nil)
 	_ PinnedBlockReader = (*FileStore)(nil)
+	_ wireBlockReader   = (*FileStore)(nil)
 )

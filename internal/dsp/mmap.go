@@ -20,6 +20,7 @@ package dsp
 
 import (
 	"errors"
+	"os"
 	"sync/atomic"
 	"unsafe"
 )
@@ -58,9 +59,34 @@ type mmapRegion struct {
 	// data is the full mapping. Views handed out are subslices of it and
 	// must be treated as immutable.
 	data []byte
+	// f is the mapped file, kept open for the region's lifetime so the
+	// sendfile serve path has a stable descriptor onto the same inode the
+	// mapping reads — a rename-replaced checkpoint keeps both alive until
+	// the last pin drops. Closed by unmap; nil on builds without mmap.
+	f *os.File
+	// wirePrefixed reports a v3 image body: every block is stored behind
+	// its uvarint length prefix, exactly the opReadBlocks wire encoding,
+	// so a contiguous block run (prefixes included) is one file span the
+	// writer can hand to a single sendfile call.
+	wirePrefixed bool
 	// refs counts the owner (the segment holding this region as current)
 	// plus every in-flight pin. The munmap runs when it reaches zero.
 	refs atomic.Int64
+}
+
+// offsetOf returns b's byte offset inside the mapping (which equals its
+// file offset — the image maps from 0), or -1 when b is not a view into
+// it.
+func (r *mmapRegion) offsetOf(b []byte) int64 {
+	if !r.contains(b) {
+		return -1
+	}
+	base := uintptr(unsafe.Pointer(&r.data[0]))
+	off := uintptr(unsafe.Pointer(&b[0])) - base
+	if off+uintptr(len(b)) > uintptr(len(r.data)) {
+		return -1
+	}
+	return int64(off)
 }
 
 // acquire takes a pin. The caller must hold the lock under which the

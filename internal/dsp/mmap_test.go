@@ -197,21 +197,20 @@ func TestFileStoreFooterMigration(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Rewrite the (single) image as a pre-footer v1: strip the index and
-	// tail, stamp the old magic version.
+	// Rewrite the (single) image as a genuine pre-footer v1: raw
+	// container images, no footer, no wire prefixes.
 	path := filepath.Join(dir, segCkptName(0))
-	img, err := os.ReadFile(path)
+	cImg, err := c.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)
 	}
-	tail := img[len(img)-ckptFooterTailLen:]
-	if string(tail[8:]) != string(ckptFooterMagic) {
-		t.Fatal("current writer did not produce a footered image")
-	}
-	idxLen := int64(binary.LittleEndian.Uint32(tail[0:4]))
-	body := img[:int64(len(img))-ckptFooterTailLen-idxLen]
-	legacy := append([]byte(nil), body...)
-	copy(legacy, ckptMagicV1)
+	legacy := append([]byte(nil), ckptMagicV1...)
+	legacy = appendUvarint(legacy, 1)
+	legacy = appendBytes(legacy, cImg)
+	legacy = appendUvarint(legacy, 1)
+	legacy = appendString(legacy, "legacy-img\x00bob")
+	legacy = appendUvarint(legacy, 1)
+	legacy = appendBytes(legacy, []byte("old-sealed"))
 	if err := os.WriteFile(path, legacy, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +236,8 @@ func TestFileStoreFooterMigration(t *testing.T) {
 	if sealed, err := r.RuleSet("legacy-img", "bob"); err != nil || string(sealed) != "old-sealed" {
 		t.Fatalf("rules lost in footer migration: %q, %v", sealed, err)
 	}
-	// The image on disk is now current-format: footered, v2 magic.
+	// The image on disk is now current-format: footered, wire-prefixed
+	// v3 magic.
 	img2, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -247,6 +247,84 @@ func TestFileStoreFooterMigration(t *testing.T) {
 	}
 	if _, err := parseCkptIndex(img2); err != nil {
 		t.Fatalf("migrated image has no parsable footer: %v", err)
+	}
+}
+
+// TestFileStoreV2ImageRewrite: a footered v2 image (raw blocks, no wire
+// prefixes) still maps and serves, but opening it rewrites the image to
+// the wire-prefixed v3 format once, so the sendfile tier can coalesce
+// runs out of every image on disk.
+func TestFileStoreV2ImageRewrite(t *testing.T) {
+	requireMmap(t)
+	dir := t.TempDir()
+	s := openFileStore(t, dir, FileStoreOptions{Shards: 1})
+	c := mmapTestContainer("v2-img", 3, 6)
+	if err := s.PutDocument(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild segment 0's image as a genuine v2: raw container bytes in
+	// the body, footer refs at raw payload offsets.
+	raw, err := c.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hdrLen, err := docenc.UnmarshalHeader(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := append([]byte(nil), ckptMagicV2...)
+	body = appendUvarint(body, 1)
+	imgOff := int64(len(body)) + int64(uvarintLen(uint64(len(raw))))
+	body = appendBytes(body, raw)
+	entry := ckptDocEntry{docID: "v2-img", version: c.Header.Version,
+		hdrOff: imgOff, hdrLen: int64(hdrLen)}
+	off := imgOff + int64(hdrLen)
+	for _, b := range c.Blocks {
+		entry.blocks = append(entry.blocks, ckptBlockRef{off: off, len: int64(len(b))})
+		off += int64(len(b))
+	}
+	rulesOff := int64(len(body))
+	body = appendUvarint(body, 0)
+	img := appendCkptIndex(body, []ckptDocEntry{entry}, rulesOff)
+	path := filepath.Join(dir, segCkptName(0))
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openFileStore(t, dir, FileStoreOptions{})
+	defer r.Close()
+	st := r.Stats()
+	if st.FooterMigrations != 1 {
+		t.Fatalf("FooterMigrations = %d, want 1 (v2 rewrite)", st.FooterMigrations)
+	}
+	if st.MappedBytes == 0 {
+		t.Fatal("rewritten image not served mapped")
+	}
+	got, err := r.ReadBlocks("v2-img", 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], c.Blocks[i]) {
+			t.Fatalf("block %d differs after v2 rewrite", i)
+		}
+	}
+	img2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ckptWirePrefixed(img2) {
+		t.Fatalf("rewritten image magic = %q, want wire-prefixed v3", img2[:len(ckptMagic)])
+	}
+	if _, err := parseCkptIndex(img2); err != nil {
+		t.Fatalf("rewritten image has no parsable footer: %v", err)
 	}
 }
 

@@ -15,28 +15,33 @@ const mmapSupported = true
 // mapFile maps path read-only in its entirety. The returned region
 // holds its single owner reference; an empty file is reported as
 // errMmapEmpty (mmap of length zero is invalid) and callers fall back
-// to the heap loader's handling.
+// to the heap loader's handling. The file stays open for the region's
+// lifetime — the sendfile tier serves from the same inode the mapping
+// reads, so both retire together when the last pin drops.
 func mapFile(path string) (*mmapRegion, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
 	st, err := f.Stat()
 	if err != nil {
+		_ = f.Close()
 		return nil, err
 	}
 	if st.Size() == 0 {
+		_ = f.Close()
 		return nil, errMmapEmpty
 	}
 	if st.Size() != int64(int(st.Size())) {
+		_ = f.Close()
 		return nil, errMmapUnsupported // larger than the address space
 	}
 	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
 	if err != nil {
+		_ = f.Close()
 		return nil, err
 	}
-	r := &mmapRegion{data: data}
+	r := &mmapRegion{data: data, f: f}
 	r.refs.Store(1)
 	return r, nil
 }
@@ -44,5 +49,9 @@ func mapFile(path string) (*mmapRegion, error) {
 func (r *mmapRegion) unmap() error {
 	data := r.data
 	r.data = nil
+	if r.f != nil {
+		_ = r.f.Close()
+		r.f = nil
+	}
 	return syscall.Munmap(data)
 }

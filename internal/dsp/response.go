@@ -16,8 +16,22 @@ import (
 	"encoding/binary"
 	"io"
 	"net"
+	"os"
 	"sync"
 )
+
+// fileRun marks one response.blocks entry as sendfile-capable: the
+// entry's bytes (a wire-exact checkpoint span, prefixes included) also
+// live at off in src, so a capable connection ships them page cache →
+// socket without touching the mapping. The writev path ignores fileRuns
+// entirely and writes the same bytes from the span — that is the
+// byte-identity fallback contract.
+type fileRun struct {
+	buf   int // index into response.blocks holding the span
+	src   *os.File
+	off   int64
+	stats *sendfileStats
+}
 
 // response is one assembled reply travelling from dispatch to the
 // per-connection writer.
@@ -36,7 +50,16 @@ type response struct {
 	// pins hold mmap'd checkpoint regions alive while blocks reference
 	// them; release drops the pins after the vectored write (or on any
 	// error/drop path — the writer releases every response exactly once).
+	// With the sendfile tier the same pins keep the checkpoint *file*
+	// open (the region owns the descriptor), so an in-flight file run
+	// survives an epoch retirement mid-flush.
 	pins []BlockPin
+
+	// runs is the dispatch-side scratch the store appends
+	// sendfile-capable runs into; fileRuns marks the blocks entries those
+	// runs became.
+	runs     []wireRun
+	fileRuns []fileRun
 
 	// bufs is the reused iovec scratch for the vectored write.
 	bufs net.Buffers
@@ -61,6 +84,8 @@ func newResponse() *response {
 	r.cuts = r.cuts[:0]
 	r.blockBytes = 0
 	r.pins = r.pins[:0]
+	r.runs = r.runs[:0]
+	r.fileRuns = r.fileRuns[:0]
 	return r
 }
 
@@ -76,6 +101,14 @@ func (r *response) release() {
 		r.pins[i] = BlockPin{}
 	}
 	r.pins = r.pins[:0]
+	for i := range r.runs {
+		r.runs[i] = wireRun{}
+	}
+	r.runs = r.runs[:0]
+	for i := range r.fileRuns {
+		r.fileRuns[i] = fileRun{}
+	}
+	r.fileRuns = r.fileRuns[:0]
 	for i := range r.bufs {
 		r.bufs[i] = nil
 	}
@@ -96,6 +129,7 @@ func (r *response) setErr(err error) *response {
 	r.blocks = r.blocks[:0]
 	r.cuts = r.cuts[:0]
 	r.blockBytes = 0
+	r.fileRuns = r.fileRuns[:0]
 	return r
 }
 
@@ -127,6 +161,20 @@ func (r *response) appendRaw(b []byte) {
 	r.blocks = append(r.blocks, b)
 	r.cuts = append(r.cuts, len(r.head))
 	r.blockBytes += len(b)
+}
+
+// appendFileRun appends a wire-exact checkpoint span — Count blocks,
+// each [uvarint len][payload], already encoded in the image — as one
+// blocks entry, and marks it sendfile-capable. Nothing goes into the
+// head: the span carries its own prefixes, which is precisely why a
+// whole run is one syscall.
+func (r *response) appendFileRun(run wireRun) {
+	r.blocks = append(r.blocks, run.Span)
+	r.cuts = append(r.cuts, len(r.head))
+	r.blockBytes += len(run.Span)
+	r.fileRuns = append(r.fileRuns, fileRun{
+		buf: len(r.blocks) - 1, src: run.File, off: run.Off, stats: run.Stats,
+	})
 }
 
 // writeTo puts the response on the wire: one Write for a contiguous
@@ -161,4 +209,72 @@ func (r *response) writeTo(w io.Writer) error {
 	r.bufs = bufs
 	_, err := (&r.bufs).WriteTo(w)
 	return err
+}
+
+// writeToConn is writeTo for the server's per-connection writer: file
+// runs go out via sendfile when the connection still supports it —
+// everything queued before a run is flushed with one vectored write,
+// then the run travels page cache → socket inside the kernel. Any
+// refusal latches the connection back to writev (connWriter.sendfile)
+// and the run's remaining bytes resume from the mapped span at the
+// exact offset sendfile stopped, so the peer sees an identical frame
+// no matter which path (or mix) served it.
+func (r *response) writeToConn(cw *connWriter) error {
+	if len(r.fileRuns) == 0 || !cw.sendfileOK {
+		return r.writeTo(cw.conn)
+	}
+	n := r.size()
+	if n > maxFrame {
+		return r.setErr(errFrameLimit(n)).writeTo(cw.conn)
+	}
+	binary.BigEndian.PutUint32(r.head[:4], uint32(n))
+	var bufs net.Buffers
+	flush := func() error {
+		if len(bufs) == 0 {
+			return nil
+		}
+		_, err := (&bufs).WriteTo(cw.conn)
+		bufs = nil // WriteTo consumed the slice
+		return err
+	}
+	prev := 0
+	ri := 0
+	for i, cut := range r.cuts {
+		if cut > prev {
+			bufs = append(bufs, r.head[prev:cut])
+		}
+		prev = cut
+		isRun := ri < len(r.fileRuns) && r.fileRuns[ri].buf == i
+		if isRun && cw.sendfileOK {
+			run := &r.fileRuns[ri]
+			ri++
+			if err := flush(); err != nil {
+				return err
+			}
+			span := r.blocks[i]
+			sent, err := cw.sendfile(span, run.src, run.off, run.stats)
+			if err != nil {
+				return err
+			}
+			if rest := span[sent:]; len(rest) > 0 {
+				// The kernel refused partway (or entirely): the mapping
+				// holds the same bytes — resume right where sendfile
+				// stopped.
+				if _, err := cw.conn.Write(rest); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		if isRun {
+			ri++ // latched mid-response: the span rides the writev below
+		}
+		if len(r.blocks[i]) > 0 {
+			bufs = append(bufs, r.blocks[i])
+		}
+	}
+	if prev < len(r.head) {
+		bufs = append(bufs, r.head[prev:])
+	}
+	return flush()
 }

@@ -46,8 +46,9 @@ func TestFileStoreMigratesLegacyLayoutOnce(t *testing.T) {
 	dir := t.TempDir()
 	cA, cB := testContainer(t, "legacy-a"), testContainer(t, "legacy-b")
 
-	// Legacy checkpoint: document A and version 1 of a rule set.
-	img := append([]byte(nil), ckptMagic...)
+	// Legacy checkpoint: document A and version 1 of a rule set. PR 4
+	// wrote raw container images (v1 magic, no wire prefixes).
+	img := append([]byte(nil), ckptMagicV1...)
 	aImg, err := cA.MarshalBinary()
 	if err != nil {
 		t.Fatal(err)

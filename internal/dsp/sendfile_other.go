@@ -1,0 +1,19 @@
+//go:build !linux || nosendfile
+
+package dsp
+
+// Portable fallback: no sendfile. The store still builds wire-prefixed
+// v3 images and the response writer still receives file runs as mapped
+// spans — they simply travel the ordinary writev path, byte for byte
+// the same frame. A store directory moves freely between builds.
+
+import (
+	"os"
+	"syscall"
+)
+
+const sendfileSupported = false
+
+func sendfileTo(rc syscall.RawConn, src *os.File, off, n int64) (int64, bool, error) {
+	return 0, true, nil
+}

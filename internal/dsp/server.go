@@ -168,6 +168,7 @@ func (s *Server) handle(conn net.Conn) {
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		cw := newConnWriter(conn)
 		broken := false
 		for ch := range pending {
 			resp := <-ch
@@ -175,7 +176,7 @@ func (s *Server) handle(conn net.Conn) {
 				resp.release()
 				continue // drain so dispatchers are never abandoned
 			}
-			err := resp.writeTo(conn)
+			err := resp.writeToConn(cw)
 			resp.release()
 			if err != nil {
 				if !errors.Is(err, net.ErrClosed) {
@@ -281,14 +282,25 @@ func (s *Server) dispatch(req []byte) *response {
 		// Pin instead of copy: a store with an mmap tier serves
 		// checkpoint-resident blocks as views into the mapping, held
 		// alive by resp.pins until the writer finishes the vectored
-		// write and releases the response.
-		blocks, err := readBlockRangePinned(s.store, docID, int(start), int(count), &resp.pins)
+		// write and releases the response. A store with a sendfile tier
+		// additionally reports contiguous checkpoint-file runs; those
+		// ride the response as wire-exact spans the connection writer
+		// may ship kernel-side.
+		blocks, err := readBlocksForWire(s.store, docID, int(start), int(count), &resp.pins, &resp.runs)
 		if err != nil {
 			return resp.setErr(err)
 		}
 		resp.appendUvarint(uint64(len(blocks)))
-		for _, b := range blocks {
-			resp.appendBlock(b)
+		for i, ri := 0, 0; i < len(blocks); {
+			if ri < len(resp.runs) && resp.runs[ri].Start == i {
+				run := resp.runs[ri]
+				ri++
+				resp.appendFileRun(run)
+				i += run.Count
+				continue
+			}
+			resp.appendBlock(blocks[i])
+			i++
 		}
 		// A run of large blocks can outgrow the frame limit even within
 		// the count cap; report it as an error the client can act on

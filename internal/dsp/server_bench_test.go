@@ -93,7 +93,9 @@ func BenchmarkWireReadBlocksMapped(b *testing.B) {
 	} {
 		b.Run(fmt.Sprintf("run=%d/block=%d", shape.run, shape.blockBytes), func(b *testing.B) {
 			dir := b.TempDir()
-			store, err := NewFileStoreOptions(dir, FileStoreOptions{})
+			// Pin this benchmark to mapped writev: the sendfile variant
+			// below measures the kernel-resident path.
+			store, err := NewFileStoreOptions(dir, FileStoreOptions{DisableSendfile: true})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -138,6 +140,79 @@ func BenchmarkWireReadBlocksMapped(b *testing.B) {
 			b.StopTimer()
 			if st := store.Stats(); mmapSupported && st.MmapReads == 0 {
 				b.Fatalf("benchmark did not exercise the mapped tier: %+v", st)
+			}
+		})
+	}
+}
+
+// BenchmarkWireReadBlocksSendfile measures the kernel-resident cold
+// serve path: the same checkpoint-resident corpus as
+// BenchmarkWireReadBlocksMapped, but the run ships with sendfile(2) —
+// page cache → socket without crossing the user mapping. Compare ns/op
+// and allocs/op against the Mapped benchmark; on builds without
+// sendfile the numbers converge because the frames are byte-identical
+// by construction.
+func BenchmarkWireReadBlocksSendfile(b *testing.B) {
+	for _, shape := range []struct {
+		run        int
+		blockBytes int
+	}{
+		{8, 4096},
+		{64, 4096},
+	} {
+		b.Run(fmt.Sprintf("run=%d/block=%d", shape.run, shape.blockBytes), func(b *testing.B) {
+			dir := b.TempDir()
+			store, err := NewFileStoreOptions(dir, FileStoreOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			const nBlocks = 64
+			if err := store.PutDocument(benchContainer("bench", nBlocks, shape.blockBytes)); err != nil {
+				b.Fatal(err)
+			}
+			if err := store.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv := NewServer(store)
+			go func() { _ = srv.Serve(l) }()
+			defer srv.Close()
+			c, err := Dial(l.Addr().String())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			b.SetBytes(int64(shape.run * shape.blockBytes))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				at := (i * shape.run) % nBlocks
+				if at+shape.run > nBlocks {
+					at = 0
+				}
+				f, err := c.ReadBlocksFrame("bench", at, shape.run)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(f.Blocks()) != shape.run {
+					b.Fatalf("got %d blocks", len(f.Blocks()))
+				}
+				f.Release()
+			}
+			b.StopTimer()
+			st := store.Stats()
+			wantSendfile := SendfileCapable() &&
+				shape.run*shape.blockBytes >= sendfileMinRunBytes
+			if wantSendfile && st.SendfileReads == 0 {
+				b.Fatalf("benchmark did not exercise the sendfile tier: %+v", st)
+			}
+			if st.SendfileReads > 0 {
+				b.ReportMetric(float64(st.SendfileBytes)/float64(st.SendfileReads), "B/sendfile")
 			}
 		})
 	}

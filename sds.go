@@ -80,16 +80,19 @@ type (
 	// the older single-file layout. On unix builds checkpoint images are
 	// mmap'd and checkpoint-resident blocks are served as pinned views
 	// into the mapping — no heap copy between the page cache and the
-	// server's writev.
+	// server's writev — and on linux contiguous cold runs go onto the
+	// wire with sendfile(2), never entering user space at all.
 	FileStore = dsp.FileStore
 	// FileStoreOptions tunes a FileStore (shard/segment count, fsync
-	// policy, checkpoint budget, recovery parallelism, DisableMmap).
+	// policy, checkpoint budget, recovery parallelism, DisableMmap,
+	// DisableSendfile).
 	FileStoreOptions = dsp.FileStoreOptions
 	// FileStoreStats snapshots a FileStore's durability counters,
 	// including SegmentCount, RecoveryDuration, LastCheckpointDuration,
 	// the mapped-tier gauges (MappedBytes, MmapReads/HeapReads,
-	// FooterMigrations, MadviseCalls) and whether the open migrated a
-	// legacy single-file layout.
+	// FooterMigrations, MadviseCalls), the sendfile cold-serve counters
+	// (SendfileReads/SendfileBytes/SendfileFallbacks) and whether the
+	// open migrated a legacy single-file layout.
 	FileStoreStats = dsp.FileStoreStats
 	// BlockFrame is the pooled response of Client.ReadBlocksFrame: its
 	// Blocks alias one reusable buffer that Release returns to the pool;
